@@ -1,0 +1,57 @@
+// deathbench runs the full experiment suite (E1-E14) reproducing every
+// figure and quantitative claim of "The Necessary Death of the Block
+// Device Interface" and prints the paper-style tables.
+//
+// Usage:
+//
+//	deathbench [-scale quick|full] [-only E5,E10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
+	onlyFlag := flag.String("only", "", "comma-separated experiment IDs (e.g. E5,E10); empty = all")
+	flag.Parse()
+
+	scale := experiments.Quick
+	switch *scaleFlag {
+	case "quick":
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "deathbench: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *onlyFlag != "" {
+		for _, id := range strings.Split(*onlyFlag, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+
+	failed := 0
+	for _, r := range experiments.All {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		res, err := r.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(res.String())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

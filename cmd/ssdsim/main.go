@@ -1,0 +1,115 @@
+// ssdsim runs a single device preset under one access pattern and
+// prints latency and bandwidth statistics — a small device-exploration
+// tool over the simulator.
+//
+// Usage:
+//
+//	ssdsim [-device Enterprise2012] [-pattern RW] [-ops 5000] [-qd 8] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+var presets = map[string]ssd.Preset{
+	"Consumer2008":             ssd.Consumer2008,
+	"Enterprise2012":           ssd.Enterprise2012,
+	"Enterprise2012Unbuffered": ssd.Enterprise2012Unbuffered,
+	"DFTL2012":                 ssd.DFTL2012,
+	"PCM2012":                  ssd.PCM2012,
+}
+
+var patterns = map[string]workload.Pattern{
+	"SR": workload.SR, "RR": workload.RR, "SW": workload.SW,
+	"RW": workload.RW, "ZR": workload.ZR, "ZW": workload.ZW, "MIX": workload.MIX,
+}
+
+func main() {
+	deviceFlag := flag.String("device", "Enterprise2012", "device preset")
+	patternFlag := flag.String("pattern", "RW", "access pattern (SR RR SW RW ZR ZW MIX)")
+	opsFlag := flag.Int("ops", 5000, "number of accesses")
+	qdFlag := flag.Int("qd", 8, "outstanding requests")
+	seedFlag := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	preset, ok := presets[*deviceFlag]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ssdsim: unknown device %q (try Consumer2008, Enterprise2012, DFTL2012, PCM2012)\n", *deviceFlag)
+		os.Exit(2)
+	}
+	pattern, ok := patterns[*patternFlag]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ssdsim: unknown pattern %q\n", *patternFlag)
+		os.Exit(2)
+	}
+
+	eng := sim.NewEngine()
+	dev, err := ssd.Build(eng, preset, ssd.Options{Seed: *seedFlag})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssdsim:", err)
+		os.Exit(1)
+	}
+	span := dev.Capacity() * 3 / 4
+	gen, err := workload.NewGenerator(pattern, span, *seedFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssdsim:", err)
+		os.Exit(1)
+	}
+
+	// Precondition: one sequential fill so reads and overwrites are real.
+	fmt.Printf("device %s: %d pages x %d B (%.1f GiB logical)\n",
+		dev.Name(), dev.Capacity(), dev.PageSize(),
+		float64(dev.Capacity())*float64(dev.PageSize())/(1<<30))
+	fmt.Printf("preconditioning (%d sequential writes)...\n", span)
+	runLoop(eng, dev, int(span), *qdFlag, func(i int) (bool, int64) { return true, int64(i) % span })
+	dev.Metrics().Reset()
+
+	fmt.Printf("running %s x %d ops at QD%d...\n", pattern, *opsFlag, *qdFlag)
+	start := eng.Now()
+	runLoop(eng, dev, *opsFlag, *qdFlag, func(i int) (bool, int64) {
+		a := gen.Next()
+		return a.Kind == workload.Write, a.LPN
+	})
+	elapsed := eng.Now() - start
+
+	m := dev.Metrics()
+	fmt.Printf("\nvirtual elapsed: %v\n", elapsed)
+	total := m.Reads.Ops + m.Writes.Ops
+	fmt.Printf("IOPS: %.0f  bandwidth: %.1f MB/s\n",
+		float64(total)/elapsed.Seconds(),
+		float64(m.Reads.Bytes+m.Writes.Bytes)/1e6/elapsed.Seconds())
+	if m.Reads.Ops > 0 {
+		fmt.Printf("reads : %s\n", m.ReadLat.Summary())
+	}
+	if m.Writes.Ops > 0 {
+		fmt.Printf("writes: %s\n", m.WriteLat.Summary())
+	}
+}
+
+func runLoop(eng *sim.Engine, dev ssd.Dev, n, qd int, next func(i int) (bool, int64)) {
+	issued := 0
+	var submit func()
+	submit = func() {
+		if issued >= n {
+			return
+		}
+		i := issued
+		issued++
+		write, lpn := next(i)
+		if write {
+			dev.Write(lpn, nil, func(error) { submit() })
+		} else {
+			dev.Read(lpn, func([]byte, error) { submit() })
+		}
+	}
+	for k := 0; k < qd && k < n; k++ {
+		submit()
+	}
+	eng.Run()
+}

@@ -1,0 +1,31 @@
+// uflip runs the uFLIP-style characterization matrix (the measurement
+// methodology of the paper's refs [2,3,6]) over every device preset and
+// prints the IOPS table.
+//
+// Usage:
+//
+//	uflip [-scale quick|full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "quick or full")
+	flag.Parse()
+	scale := experiments.Quick
+	if *scaleFlag == "full" {
+		scale = experiments.Full
+	}
+	res, err := experiments.E14UFLIP(scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uflip:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.String())
+}

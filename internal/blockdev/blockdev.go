@@ -1,0 +1,261 @@
+// Package blockdev models the operating-system block layer between
+// applications and a device: per-request CPU work on the submitting
+// core, the single shared queue lock of the classic Linux block layer,
+// the per-core software queues of its multi-queue successor, and the
+// direct user-space submission path (FusionIO's ioMemory SDK) that
+// bypasses the block layer entirely — the three stacks experiment E12
+// compares.
+//
+// The paper's §2.2 notes the block layer evolution ("CPU overhead has
+// been reduced ... lock contention has been reduced ... management of
+// multiple IO queues ... under implementation"); this package makes
+// those costs explicit and measurable.
+package blockdev
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+// ErrStackClosed reports submission after Close.
+var ErrStackClosed = errors.New("blockdev: stack closed")
+
+// Mode selects the submission path.
+type Mode int
+
+// Submission paths.
+const (
+	// SingleQueue is the classic block layer: one request queue, one
+	// lock shared by every submitting core.
+	SingleQueue Mode = iota
+	// MultiQueue is the blk-mq design: a software queue per core, no
+	// shared lock on the submission path.
+	MultiQueue
+	// Direct bypasses the block layer: minimal per-request CPU cost, no
+	// shared state (the "communication abstraction" needs this path).
+	Direct
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case SingleQueue:
+		return "SingleQueue"
+	case MultiQueue:
+		return "MultiQueue"
+	case Direct:
+		return "Direct"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes the stack.
+type Config struct {
+	Mode Mode
+	// CPUs is the number of submitting cores.
+	CPUs int
+	// SubmitCost is the CPU work to build and route one request
+	// (bio allocation, scheduler hooks). Direct mode pays DirectCost
+	// instead.
+	SubmitCost sim.Time
+	// CompleteCost is the CPU work on the completion path (IRQ +
+	// softirq + callback), charged to the submitting core.
+	CompleteCost sim.Time
+	// LockHold is the queue-lock critical section per request
+	// (SingleQueue only) — the serialization point that caps IOPS.
+	LockHold sim.Time
+	// DirectCost is the per-request CPU work of the bypass path.
+	DirectCost sim.Time
+	// QueueDepth bounds requests outstanding at the device; excess
+	// requests wait in the scheduler queue.
+	QueueDepth int
+}
+
+// DefaultConfig mirrors a 2012 Linux stack on a fast SSD.
+func DefaultConfig(mode Mode) Config {
+	return Config{
+		Mode:         mode,
+		CPUs:         4,
+		SubmitCost:   4 * sim.Microsecond,
+		CompleteCost: 4 * sim.Microsecond,
+		LockHold:     1200 * sim.Nanosecond,
+		DirectCost:   800 * sim.Nanosecond,
+		QueueDepth:   32,
+	}
+}
+
+// Stack is one configured I/O path to one device.
+type Stack struct {
+	eng *sim.Engine
+	dev ssd.Dev
+	cfg Config
+
+	cpus []*sim.Server
+	lock *sim.Server // SingleQueue only
+
+	outstanding int
+	waitq       []func()
+	closed      bool
+
+	// Submitted and Completed count requests through this stack.
+	Submitted int64
+	Completed int64
+}
+
+// New builds a stack over dev.
+func New(eng *sim.Engine, dev ssd.Dev, cfg Config) (*Stack, error) {
+	if cfg.CPUs <= 0 {
+		return nil, fmt.Errorf("blockdev: CPUs %d must be positive", cfg.CPUs)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 32
+	}
+	s := &Stack{eng: eng, dev: dev, cfg: cfg}
+	for i := 0; i < cfg.CPUs; i++ {
+		s.cpus = append(s.cpus, sim.NewServer(eng, fmt.Sprintf("cpu%d", i)))
+	}
+	if cfg.Mode == SingleQueue {
+		s.lock = sim.NewServer(eng, "queue-lock")
+	}
+	return s, nil
+}
+
+// Device returns the device under this stack.
+func (s *Stack) Device() ssd.Dev { return s.dev }
+
+// Config returns the stack configuration.
+func (s *Stack) Config() Config { return s.cfg }
+
+// CPU exposes core i's server (for utilization probes).
+func (s *Stack) CPU(i int) *sim.Server { return s.cpus[i%len(s.cpus)] }
+
+// Close rejects further submissions.
+func (s *Stack) Close() { s.closed = true }
+
+// Op identifies the request type.
+type Op int
+
+// Request operations.
+const (
+	OpRead Op = iota
+	OpWrite
+	OpFlush
+)
+
+// Request is one block-layer request.
+type Request struct {
+	Op   Op
+	LPN  int64
+	Data []byte
+	// Done receives the read payload (for OpRead) and the outcome.
+	Done func(data []byte, err error)
+}
+
+// Submit runs req through the stack from core cpu. Completion costs are
+// charged back to the same core (completion steering, as the upgraded
+// block layer does).
+func (s *Stack) Submit(cpu int, req Request) {
+	if s.closed {
+		if req.Done != nil {
+			req.Done(nil, ErrStackClosed)
+		}
+		return
+	}
+	s.Submitted++
+	core := s.cpus[cpu%len(s.cpus)]
+	switch s.cfg.Mode {
+	case Direct:
+		core.Use(s.cfg.DirectCost, "direct-submit", func(_, _ sim.Time) {
+			s.toDevice(cpu, req)
+		})
+	case MultiQueue:
+		core.Use(s.cfg.SubmitCost, "mq-submit", func(_, _ sim.Time) {
+			s.toDevice(cpu, req)
+		})
+	default: // SingleQueue
+		core.Use(s.cfg.SubmitCost, "sq-submit", func(_, _ sim.Time) {
+			s.lock.Use(s.cfg.LockHold, "queue-lock", func(_, _ sim.Time) {
+				s.toDevice(cpu, req)
+			})
+		})
+	}
+}
+
+// toDevice dispatches when queue depth allows.
+func (s *Stack) toDevice(cpu int, req Request) {
+	if s.outstanding >= s.cfg.QueueDepth {
+		s.waitq = append(s.waitq, func() { s.toDevice(cpu, req) })
+		return
+	}
+	s.outstanding++
+	complete := func(data []byte, err error) {
+		s.outstanding--
+		if len(s.waitq) > 0 {
+			next := s.waitq[0]
+			s.waitq = s.waitq[0:copy(s.waitq, s.waitq[1:])]
+			next()
+		}
+		cost := s.cfg.CompleteCost
+		if s.cfg.Mode == Direct {
+			cost = s.cfg.DirectCost
+		}
+		s.cpus[cpu%len(s.cpus)].Use(cost, "complete", func(_, _ sim.Time) {
+			s.Completed++
+			if req.Done != nil {
+				req.Done(data, err)
+			}
+		})
+	}
+	switch req.Op {
+	case OpRead:
+		s.dev.Read(req.LPN, complete)
+	case OpWrite:
+		s.dev.Write(req.LPN, req.Data, func(err error) { complete(nil, err) })
+	case OpFlush:
+		s.dev.Flush(func() { complete(nil, nil) })
+	default:
+		complete(nil, fmt.Errorf("blockdev: unknown op %d", req.Op))
+	}
+}
+
+// ReadSync issues a read from core cpu and blocks the calling process.
+func (s *Stack) ReadSync(p *sim.Proc, cpu int, lpn int64) ([]byte, error) {
+	c := sim.NewCond(p.Engine())
+	var data []byte
+	var rerr error
+	s.Submit(cpu, Request{Op: OpRead, LPN: lpn, Done: func(d []byte, err error) {
+		data, rerr = d, err
+		c.Fire()
+	}})
+	c.Await(p)
+	return data, rerr
+}
+
+// WriteSync issues a write from core cpu and blocks the calling process.
+func (s *Stack) WriteSync(p *sim.Proc, cpu int, lpn int64, data []byte) error {
+	c := sim.NewCond(p.Engine())
+	var werr error
+	s.Submit(cpu, Request{Op: OpWrite, LPN: lpn, Data: data, Done: func(_ []byte, err error) {
+		werr = err
+		c.Fire()
+	}})
+	c.Await(p)
+	return werr
+}
+
+// FlushSync issues a flush barrier and blocks the calling process —
+// the fsync step of the conservative commit path.
+func (s *Stack) FlushSync(p *sim.Proc, cpu int) error {
+	c := sim.NewCond(p.Engine())
+	var ferr error
+	s.Submit(cpu, Request{Op: OpFlush, Done: func(_ []byte, err error) {
+		ferr = err
+		c.Fire()
+	}})
+	c.Await(p)
+	return ferr
+}

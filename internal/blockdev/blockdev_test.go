@@ -1,0 +1,180 @@
+package blockdev
+
+import (
+	"testing"
+
+	"repro/internal/pcm"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+// fastDev builds a PCM SSD so the software stack, not the medium, is the
+// bottleneck (the regime the paper cares about).
+func fastDev(t *testing.T, eng *sim.Engine) ssd.Dev {
+	t.Helper()
+	cfg := pcm.DefaultConfig()
+	cfg.CapacityBytes = 1 << 22
+	d, err := ssd.NewPCMSSD(eng, "fast", 8, 4096, cfg, ssd.PCIe4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestStackReadWriteRoundTrip(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := fastDev(t, eng)
+	s, err := New(eng, dev, DefaultConfig(SingleQueue))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, dev.PageSize())
+	data[0] = 0x42
+	eng.Go(func(p *sim.Proc) {
+		if err := s.WriteSync(p, 0, 7, data); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		got, err := s.ReadSync(p, 0, 7)
+		if err != nil {
+			t.Errorf("read: %v", err)
+		}
+		if got[0] != 0x42 {
+			t.Error("round trip failed")
+		}
+		if err := s.FlushSync(p, 0); err != nil {
+			t.Errorf("flush: %v", err)
+		}
+	})
+	eng.Run()
+	if s.Submitted != 3 || s.Completed != 3 {
+		t.Fatalf("submitted=%d completed=%d", s.Submitted, s.Completed)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if SingleQueue.String() != "SingleQueue" || MultiQueue.String() != "MultiQueue" || Direct.String() != "Direct" {
+		t.Fatal("mode names wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode should still format")
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := fastDev(t, eng)
+	if _, err := New(eng, dev, Config{CPUs: 0}); err == nil {
+		t.Fatal("zero CPUs accepted")
+	}
+}
+
+func TestClosedStackRejects(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := fastDev(t, eng)
+	s, err := New(eng, dev, DefaultConfig(Direct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	var gotErr error
+	s.Submit(0, Request{Op: OpRead, LPN: 0, Done: func(_ []byte, err error) { gotErr = err }})
+	eng.Run()
+	if gotErr != ErrStackClosed {
+		t.Fatalf("err = %v", gotErr)
+	}
+}
+
+func TestQueueDepthBounds(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := fastDev(t, eng)
+	cfg := DefaultConfig(MultiQueue)
+	cfg.QueueDepth = 2
+	s, err := New(eng, dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed := 0
+	for i := 0; i < 10; i++ {
+		s.Submit(i, Request{Op: OpRead, LPN: int64(i), Done: func([]byte, error) { completed++ }})
+	}
+	eng.Run()
+	if completed != 10 {
+		t.Fatalf("completed = %d, want 10 (waitq must drain)", completed)
+	}
+}
+
+// runClosedLoop measures IOPS with one reader proc per CPU.
+func runClosedLoop(t *testing.T, mode Mode, cpus int) float64 {
+	t.Helper()
+	eng := sim.NewEngine()
+	dev := fastDev(t, eng)
+	cfg := DefaultConfig(mode)
+	cfg.CPUs = cpus
+	s, err := New(eng, dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 50 * sim.Millisecond
+	done := 0
+	for c := 0; c < cpus; c++ {
+		c := c
+		eng.Go(func(p *sim.Proc) {
+			rng := sim.NewRNG(uint64(c + 1))
+			for p.Now() < horizon {
+				if _, err := s.ReadSync(p, c, rng.Int63n(dev.Capacity())); err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				done++
+			}
+		})
+	}
+	eng.Run()
+	return float64(done) / horizon.Seconds()
+}
+
+func TestSingleQueueStopsScaling(t *testing.T) {
+	iops1 := runClosedLoop(t, SingleQueue, 1)
+	iops8 := runClosedLoop(t, SingleQueue, 8)
+	// The shared lock must prevent anything near linear scaling.
+	if iops8 > 5*iops1 {
+		t.Fatalf("single queue scaled %0.fx; lock contention should cap it", iops8/iops1)
+	}
+}
+
+func TestMultiQueueScalesBetterThanSingle(t *testing.T) {
+	sq := runClosedLoop(t, SingleQueue, 8)
+	mq := runClosedLoop(t, MultiQueue, 8)
+	if mq <= sq {
+		t.Fatalf("multi-queue (%.0f IOPS) should beat single queue (%.0f IOPS) at 8 cores", mq, sq)
+	}
+}
+
+func TestDirectBeatsBlockLayer(t *testing.T) {
+	mq := runClosedLoop(t, MultiQueue, 8)
+	direct := runClosedLoop(t, Direct, 8)
+	if direct <= mq {
+		t.Fatalf("direct path (%.0f IOPS) should beat multi-queue (%.0f IOPS)", direct, mq)
+	}
+}
+
+func TestCompletionChargedToSubmittingCore(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := fastDev(t, eng)
+	s, err := New(eng, dev, DefaultConfig(MultiQueue))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Go(func(p *sim.Proc) {
+		if _, err := s.ReadSync(p, 2, 0); err != nil {
+			t.Errorf("read: %v", err)
+		}
+	})
+	eng.Run()
+	if s.CPU(2).Busy() == 0 {
+		t.Fatal("core 2 shows no work")
+	}
+	if s.CPU(0).Busy() != 0 {
+		t.Fatal("core 0 shows work it did not do")
+	}
+}

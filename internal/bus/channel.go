@@ -1,0 +1,81 @@
+// Package bus models the shared channels that connect an SSD controller
+// to its flash chips. A channel serializes command and data transfers for
+// every chip attached to it, while chip array operations proceed in
+// parallel — the split that makes reads tend channel-bound and writes
+// tend chip-bound (the paper's Figure 1).
+package bus
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Channel is one shared flash interface bus.
+type Channel struct {
+	srv         *sim.Server
+	bytesPerSec int64
+	cmdOverhead sim.Time
+}
+
+// Config parameterizes a channel.
+type Config struct {
+	// MBPerSec is the raw transfer bandwidth in megabytes (1e6)/second.
+	// ONFI 1.x ~40, ONFI 2.x ~200, ONFI 3.x ~400.
+	MBPerSec int
+	// CmdOverhead is the fixed command+address occupancy per operation.
+	CmdOverhead sim.Time
+}
+
+// ONFI2 is the default channel configuration for 2012-era devices.
+var ONFI2 = Config{MBPerSec: 200, CmdOverhead: 1 * sim.Microsecond}
+
+// ONFI1 is a slow legacy channel (pre-2009 consumer devices).
+var ONFI1 = Config{MBPerSec: 40, CmdOverhead: 2 * sim.Microsecond}
+
+// NewChannel returns a channel on eng with the given configuration.
+func NewChannel(eng *sim.Engine, name string, cfg Config) (*Channel, error) {
+	if cfg.MBPerSec <= 0 {
+		return nil, fmt.Errorf("bus: bandwidth %d MB/s must be positive", cfg.MBPerSec)
+	}
+	if cfg.CmdOverhead < 0 {
+		return nil, fmt.Errorf("bus: negative command overhead %v", cfg.CmdOverhead)
+	}
+	return &Channel{
+		srv:         sim.NewServer(eng, name),
+		bytesPerSec: int64(cfg.MBPerSec) * 1_000_000,
+		cmdOverhead: cfg.CmdOverhead,
+	}, nil
+}
+
+// Server exposes the underlying timing server for tracing and
+// utilization measurements.
+func (c *Channel) Server() *sim.Server { return c.srv }
+
+// TransferTime reports how long moving n bytes occupies the channel
+// (excluding command overhead).
+func (c *Channel) TransferTime(n int) sim.Time {
+	if n <= 0 {
+		return 0
+	}
+	return sim.Time(int64(n) * int64(sim.Second) / c.bytesPerSec)
+}
+
+// Transfer reserves the channel for a command plus an n-byte transfer
+// starting as soon as the channel frees. done (optional) runs at the end
+// of the occupancy.
+func (c *Channel) Transfer(n int, label string, done func(start, end sim.Time)) sim.Time {
+	return c.srv.Use(c.cmdOverhead+c.TransferTime(n), label, done)
+}
+
+// TransferFrom is Transfer but starting no earlier than ready — used to
+// chain the data-out transfer after a chip read completes.
+func (c *Channel) TransferFrom(ready sim.Time, n int, label string, done func(start, end sim.Time)) sim.Time {
+	return c.srv.UseFrom(ready, c.cmdOverhead+c.TransferTime(n), label, done)
+}
+
+// Command reserves the channel for a command-only cycle (erase issue,
+// status poll).
+func (c *Channel) Command(label string, done func(start, end sim.Time)) sim.Time {
+	return c.srv.Use(c.cmdOverhead, label, done)
+}

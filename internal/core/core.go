@@ -1,0 +1,154 @@
+// Package core implements the paper's contribution: the storage
+// interface that should replace the block device (§3, "Secondary
+// storage revisited"). It rests on three principles:
+//
+//  1. Synchronous and asynchronous persistence are separated (Mohan):
+//     synchronous patterns — log writes, commits — go to PCM on the
+//     memory bus at store/fence granularity; asynchronous patterns —
+//     lazy page writes, prefetching, reads — go to flash SSDs as I/O.
+//
+//  2. The memory abstraction gives way to a communication abstraction:
+//     host and device are peers. The host can issue nameless writes
+//     (the device picks the address and returns it), trim dead data,
+//     and group writes atomically; the device notifies the host when
+//     garbage collection relocates host-addressed pages.
+//
+//  3. The stack is streamlined like low-latency networking: the async
+//     domain runs over the direct submission path, not the shared-lock
+//     block layer.
+//
+// The same storage engine (package kvstore) runs over this interface
+// and over the conservative block-device stack, which is the
+// paper-versus-baseline comparison of experiments E10-E12.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/blockdev"
+	"repro/internal/pcm"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+// Package errors.
+var (
+	// ErrLogFull reports sync-log exhaustion (checkpoint required).
+	ErrLogFull = errors.New("core: sync log full")
+	// ErrBadToken reports an unknown or deleted object token.
+	ErrBadToken = errors.New("core: unknown object token")
+)
+
+// LogDevice is the synchronous persistence domain: an append-only byte
+// log with explicit durability points. Two implementations exist: the
+// progressive PCMLog (memory bus) and the conservative BlockLog
+// (page-granular writes + flush through the block layer).
+type LogDevice interface {
+	// Append stages data at the log tail and returns its offset.
+	// Durability requires Sync. The tail is reserved before the device
+	// operation starts, so concurrent appenders never interleave bytes.
+	Append(p *sim.Proc, data []byte) (int64, error)
+	// Sync makes everything appended so far durable.
+	Sync(p *sim.Proc) error
+	// ReadAt reads n bytes at off within [head, tail).
+	ReadAt(p *sim.Proc, off int64, n int) ([]byte, error)
+	// RawReadAt reads bytes at any offset without bounds bookkeeping —
+	// the crash-recovery scan path, where the host has lost head/tail
+	// and validates records by checksum and embedded LSN instead.
+	RawReadAt(p *sim.Proc, off int64, n int) ([]byte, error)
+	// Reset rewinds host bookkeeping to the given window after
+	// recovery decided where the valid log ends.
+	Reset(p *sim.Proc, head, tail int64) error
+	// Truncate discards the log prefix below head (checkpointing).
+	Truncate(head int64) error
+	// Tail reports the current append offset.
+	Tail() int64
+	// Capacity reports the usable log bytes.
+	Capacity() int64
+}
+
+// PageStore is the asynchronous persistence domain: page-granular
+// storage for data pages, with trim and flush.
+type PageStore interface {
+	PageSize() int
+	Capacity() int64
+	// ReadPage fetches a page, blocking the calling process.
+	ReadPage(p *sim.Proc, lpn int64) ([]byte, error)
+	// WritePage stores a page, blocking until acknowledged.
+	WritePage(p *sim.Proc, lpn int64, data []byte) error
+	// WritePageAsync stores a page without blocking (lazy write-back).
+	WritePageAsync(lpn int64, data []byte, done func(error))
+	// Trim declares a page dead.
+	Trim(lpn int64) error
+	// Flush drains device buffers, blocking the calling process.
+	Flush(p *sim.Proc) error
+}
+
+// Store is the assembled progressive interface: a PCM sync domain, a
+// flash async domain on the direct path, and the extended command set.
+type Store struct {
+	eng *sim.Engine
+
+	// Log is the synchronous domain (PCM unless configured otherwise).
+	Log LogDevice
+	// Pages is the asynchronous domain.
+	Pages PageStore
+	// Objects is the nameless-write object store (may be nil when the
+	// device lacks the extended commands).
+	Objects *ObjectStore
+}
+
+// NewProgressive assembles the paper's proposed stack: log on PCM via
+// the memory bus, data pages on a flash device through the direct
+// submission path, nameless objects enabled when supported.
+func NewProgressive(eng *sim.Engine, membus *pcm.MemBus, logBytes int64, flash *ssd.Device, cpus int) (*Store, error) {
+	log, err := NewPCMLog(membus, 0, logBytes)
+	if err != nil {
+		return nil, err
+	}
+	cfg := blockdev.DefaultConfig(blockdev.Direct)
+	if cpus > 0 {
+		cfg.CPUs = cpus
+	}
+	stack, err := blockdev.New(eng, flash, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		eng:   eng,
+		Log:   log,
+		Pages: NewStackPages(stack),
+	}
+	if obj, err := NewObjectStore(flash); err == nil {
+		s.Objects = obj
+	}
+	return s, nil
+}
+
+// NewConservative assembles the baseline: one flash device behind the
+// classic single-queue block layer carrying both the log and the data
+// pages (the architecture the paper says to abandon). logPages pages at
+// the start of the device hold the log; the rest hold data.
+func NewConservative(eng *sim.Engine, flash ssd.Dev, logPages int64, cpus int) (*Store, error) {
+	cfg := blockdev.DefaultConfig(blockdev.SingleQueue)
+	if cpus > 0 {
+		cfg.CPUs = cpus
+	}
+	stack, err := blockdev.New(eng, flash, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if logPages <= 0 || logPages >= flash.Capacity() {
+		return nil, fmt.Errorf("core: log region %d pages out of range", logPages)
+	}
+	log, err := NewBlockLog(stack, 0, logPages)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		eng:   eng,
+		Log:   log,
+		Pages: NewStackPagesOffset(stack, logPages),
+	}, nil
+}

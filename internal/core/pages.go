@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/blockdev"
+	"repro/internal/sim"
+)
+
+// StackPages adapts a block-layer stack into a PageStore, optionally
+// offsetting the logical space (so a log region can share the device in
+// the conservative assembly).
+type StackPages struct {
+	stack  *blockdev.Stack
+	offset int64
+	cap    int64
+	rr     int // round-robin submit core for async writes
+}
+
+var _ PageStore = (*StackPages)(nil)
+
+// NewStackPages exposes the whole device under stack as pages.
+func NewStackPages(stack *blockdev.Stack) *StackPages {
+	return NewStackPagesOffset(stack, 0)
+}
+
+// NewStackPagesOffset exposes the device minus its first offset pages.
+func NewStackPagesOffset(stack *blockdev.Stack, offset int64) *StackPages {
+	return &StackPages{
+		stack:  stack,
+		offset: offset,
+		cap:    stack.Device().Capacity() - offset,
+	}
+}
+
+// PageSize implements PageStore.
+func (s *StackPages) PageSize() int { return s.stack.Device().PageSize() }
+
+// Capacity implements PageStore.
+func (s *StackPages) Capacity() int64 { return s.cap }
+
+func (s *StackPages) check(lpn int64) error {
+	if lpn < 0 || lpn >= s.cap {
+		return fmt.Errorf("core: page %d out of range (%d)", lpn, s.cap)
+	}
+	return nil
+}
+
+// ReadPage implements PageStore.
+func (s *StackPages) ReadPage(p *sim.Proc, lpn int64) ([]byte, error) {
+	if err := s.check(lpn); err != nil {
+		return nil, err
+	}
+	return s.stack.ReadSync(p, s.nextCore(), lpn+s.offset)
+}
+
+// WritePage implements PageStore.
+func (s *StackPages) WritePage(p *sim.Proc, lpn int64, data []byte) error {
+	if err := s.check(lpn); err != nil {
+		return err
+	}
+	return s.stack.WriteSync(p, s.nextCore(), lpn+s.offset, data)
+}
+
+// WritePageAsync implements PageStore.
+func (s *StackPages) WritePageAsync(lpn int64, data []byte, done func(error)) {
+	if err := s.check(lpn); err != nil {
+		done(err)
+		return
+	}
+	s.stack.Submit(s.nextCore(), blockdev.Request{
+		Op: blockdev.OpWrite, LPN: lpn + s.offset, Data: data,
+		Done: func(_ []byte, err error) { done(err) },
+	})
+}
+
+// Trim implements PageStore.
+func (s *StackPages) Trim(lpn int64) error {
+	if err := s.check(lpn); err != nil {
+		return err
+	}
+	return s.stack.Device().Trim(lpn + s.offset)
+}
+
+// Flush implements PageStore.
+func (s *StackPages) Flush(p *sim.Proc) error {
+	return s.stack.FlushSync(p, s.nextCore())
+}
+
+func (s *StackPages) nextCore() int {
+	s.rr++
+	return s.rr
+}

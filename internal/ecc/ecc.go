@@ -1,0 +1,92 @@
+// Package ecc models the error-correction layer every SSD controller
+// wraps around raw NAND reads — part of the paper's Myth 1 argument:
+// chip-level behaviour (raw bit errors) is not device-level behaviour,
+// because the controller must manage errors, and exposing raw chips to
+// the host would push that burden up the stack.
+package ecc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUncorrectable reports more raw bit errors in a codeword than the
+// scheme can repair.
+var ErrUncorrectable = errors.New("ecc: uncorrectable codeword")
+
+// Scheme describes a BCH-style code: the page is split into codewords,
+// each independently correcting up to T bit errors.
+type Scheme struct {
+	// CodewordBytes is the data covered by one codeword (e.g. 512).
+	CodewordBytes int
+	// T is the correctable bit errors per codeword.
+	T int
+}
+
+// BCH8Per512 is a typical 2012 MLC requirement: 8 bits per 512 bytes.
+var BCH8Per512 = Scheme{CodewordBytes: 512, T: 8}
+
+// BCH24Per1K is a stronger late-MLC/TLC code.
+var BCH24Per1K = Scheme{CodewordBytes: 1024, T: 24}
+
+// Codewords reports how many codewords cover a page of pageSize bytes.
+func (s Scheme) Codewords(pageSize int) int {
+	if s.CodewordBytes <= 0 {
+		return 1
+	}
+	n := pageSize / s.CodewordBytes
+	if pageSize%s.CodewordBytes != 0 {
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// rand abstracts the sim RNG so the package has no dependency cycle.
+type rand interface {
+	Intn(n int) int
+}
+
+// Outcome summarizes decoding one page.
+type Outcome struct {
+	// Corrected is the number of repaired bit errors.
+	Corrected int
+	// MaxPerCodeword is the largest error count seen in one codeword.
+	MaxPerCodeword int
+}
+
+// Decode distributes bitErrors uniformly over the page's codewords and
+// reports whether every codeword stayed within the correction budget.
+// It returns ErrUncorrectable (wrapped with the overflowing count)
+// otherwise.
+func (s Scheme) Decode(pageSize, bitErrors int, rng rand) (Outcome, error) {
+	n := s.Codewords(pageSize)
+	if bitErrors <= 0 {
+		return Outcome{}, nil
+	}
+	counts := make([]int, n)
+	if rng == nil {
+		// Deterministic fallback: spread evenly, remainder on the first.
+		base, rem := bitErrors/n, bitErrors%n
+		for i := range counts {
+			counts[i] = base
+		}
+		counts[0] += rem
+	} else {
+		for i := 0; i < bitErrors; i++ {
+			counts[rng.Intn(n)]++
+		}
+	}
+	out := Outcome{Corrected: bitErrors}
+	for _, c := range counts {
+		if c > out.MaxPerCodeword {
+			out.MaxPerCodeword = c
+		}
+	}
+	if out.MaxPerCodeword > s.T {
+		return out, fmt.Errorf("%w: %d errors in one codeword, T=%d", ErrUncorrectable, out.MaxPerCodeword, s.T)
+	}
+	return out, nil
+}

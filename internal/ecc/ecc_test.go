@@ -1,0 +1,82 @@
+package ecc
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCodewords(t *testing.T) {
+	s := BCH8Per512
+	if got := s.Codewords(4096); got != 8 {
+		t.Fatalf("Codewords(4096) = %d, want 8", got)
+	}
+	if got := s.Codewords(4097); got != 9 {
+		t.Fatalf("Codewords(4097) = %d, want 9", got)
+	}
+	if got := s.Codewords(100); got != 1 {
+		t.Fatalf("Codewords(100) = %d, want 1", got)
+	}
+	if got := (Scheme{}).Codewords(4096); got != 1 {
+		t.Fatalf("zero scheme Codewords = %d, want 1", got)
+	}
+}
+
+func TestDecodeClean(t *testing.T) {
+	out, err := BCH8Per512.Decode(4096, 0, nil)
+	if err != nil || out.Corrected != 0 {
+		t.Fatalf("clean page: out=%+v err=%v", out, err)
+	}
+}
+
+func TestDecodeCorrectable(t *testing.T) {
+	rng := sim.NewRNG(1)
+	out, err := BCH8Per512.Decode(4096, 10, rng)
+	if err != nil {
+		t.Fatalf("10 errors over 8 codewords should usually correct: %v (max=%d)", err, out.MaxPerCodeword)
+	}
+	if out.Corrected != 10 {
+		t.Fatalf("Corrected = %d, want 10", out.Corrected)
+	}
+}
+
+func TestDecodeUncorrectable(t *testing.T) {
+	rng := sim.NewRNG(1)
+	// 200 errors over 8 codewords averages 25 per codeword, far over T=8.
+	_, err := BCH8Per512.Decode(4096, 200, rng)
+	if !errors.Is(err, ErrUncorrectable) {
+		t.Fatalf("err = %v, want ErrUncorrectable", err)
+	}
+}
+
+func TestDecodeDeterministicFallback(t *testing.T) {
+	// Without an RNG errors spread evenly: 16 over 8 codewords = 2 each.
+	out, err := BCH8Per512.Decode(4096, 16, nil)
+	if err != nil {
+		t.Fatalf("even spread should correct: %v", err)
+	}
+	if out.MaxPerCodeword != 2 {
+		t.Fatalf("MaxPerCodeword = %d, want 2", out.MaxPerCodeword)
+	}
+	// 65 evenly over 8 → 9 in the first codeword: uncorrectable.
+	if _, err := BCH8Per512.Decode(4096, 65, nil); !errors.Is(err, ErrUncorrectable) {
+		t.Fatalf("err = %v, want ErrUncorrectable", err)
+	}
+}
+
+func TestStrongerSchemeCorrectsMore(t *testing.T) {
+	rng1, rng2 := sim.NewRNG(9), sim.NewRNG(9)
+	weakFails, strongFails := 0, 0
+	for i := 0; i < 200; i++ {
+		if _, err := BCH8Per512.Decode(4096, 40, rng1); err != nil {
+			weakFails++
+		}
+		if _, err := BCH24Per1K.Decode(4096, 40, rng2); err != nil {
+			strongFails++
+		}
+	}
+	if strongFails >= weakFails {
+		t.Fatalf("stronger code should fail less: weak=%d strong=%d", weakFails, strongFails)
+	}
+}

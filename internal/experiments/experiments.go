@@ -1,0 +1,124 @@
+// Package experiments implements one runner per figure and per
+// quantitative claim of the paper (the experiment index in DESIGN.md).
+// Each runner builds its devices, replays its workload in virtual time,
+// and returns the table or chart that regenerates the paper's point.
+// cmd/deathbench prints them all; the root bench suite wraps each in a
+// testing.B benchmark; EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+// Scale selects how much work each experiment does.
+type Scale int
+
+// Scales.
+const (
+	// Quick keeps runtimes test-friendly.
+	Quick Scale = iota
+	// Full is the bench/report scale.
+	Full
+)
+
+// pick returns q at Quick scale and f at Full scale.
+func (s Scale) pick(q, f int) int {
+	if s == Full {
+		return f
+	}
+	return q
+}
+
+// Result is one experiment's output.
+type Result struct {
+	ID      string
+	Title   string
+	Claim   string // the paper's statement being reproduced
+	Tables  []*metrics.Table
+	Figures []string // rendered ASCII charts
+	Finding string   // one-line measured outcome
+}
+
+// String renders the result for terminal output.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "paper claim: %s\n\n", r.Claim)
+	for _, f := range r.Figures {
+		b.WriteString(f)
+		b.WriteByte('\n')
+	}
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "measured: %s\n", r.Finding)
+	return b.String()
+}
+
+// smallOptions scales device fabric down so steady state arrives fast.
+func smallOptions(scale Scale) ssd.Options {
+	if scale == Full {
+		return ssd.Options{Channels: 2, ChipsPerChannel: 4, BlocksPerPlane: 128, PagesPerBlock: 32}
+	}
+	return ssd.Options{Channels: 2, ChipsPerChannel: 2, BlocksPerPlane: 48, PagesPerBlock: 16}
+}
+
+// runClosedLoop drives dev with n accesses from gen at the given
+// outstanding-request depth, returning elapsed virtual time. Latencies
+// accumulate in the device's own metrics (reset them first if needed).
+type accessSource interface {
+	Next() accessOrStop
+}
+
+// accessOrStop is a tiny sum type for closed-loop driving.
+type accessOrStop struct {
+	stop  bool
+	write bool
+	lpn   int64
+}
+
+// drive issues n ops at queue depth qd against dev, invoking next for
+// each op. It runs the engine to completion and returns elapsed time.
+func drive(eng *sim.Engine, dev ssd.Dev, n, qd int, next func(i int) (write bool, lpn int64)) sim.Time {
+	start := eng.Now()
+	issued := 0
+	var submit func()
+	submit = func() {
+		if issued >= n {
+			return
+		}
+		i := issued
+		issued++
+		write, lpn := next(i)
+		if write {
+			dev.Write(lpn, nil, func(error) { submit() })
+		} else {
+			dev.Read(lpn, func([]byte, error) { submit() })
+		}
+	}
+	if qd < 1 {
+		qd = 1
+	}
+	for k := 0; k < qd && k < n; k++ {
+		submit()
+	}
+	eng.Run()
+	return eng.Now() - start
+}
+
+// mbps converts bytes moved over a window into MB/s.
+func mbps(bytes int64, elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) / 1e6 / elapsed.Seconds()
+}
+
+// us formats nanoseconds as microseconds with one decimal.
+func us(ns int64) string { return fmt.Sprintf("%.1f", float64(ns)/1e3) }

@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cellFloat parses a table cell like "123.4", "12x" or "95%".
+func cellFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "x"), "%")
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestE1ReadsChannelBoundWritesChipBound(t *testing.T) {
+	r, err := E1Figure1(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := r.Tables[0]
+	if tb.Cell(0, 4) != "channel" {
+		t.Errorf("reads bound by %q, want channel", tb.Cell(0, 4))
+	}
+	if tb.Cell(1, 4) != "chip" {
+		t.Errorf("writes bound by %q, want chip", tb.Cell(1, 4))
+	}
+	// Writes take much longer than reads despite identical transfer work.
+	readSpan := cellFloat(t, tb.Cell(0, 1))
+	writeSpan := cellFloat(t, tb.Cell(1, 1))
+	if writeSpan < 3*readSpan {
+		t.Errorf("write makespan %v not >> read makespan %v", writeSpan, readSpan)
+	}
+	if len(r.Figures) != 2 {
+		t.Error("missing gantt charts")
+	}
+}
+
+func TestE2GCRaisesReadTail(t *testing.T) {
+	r, err := E2GCInterference(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := r.Tables[0]
+	idleP99 := cellFloat(t, tb.Cell(0, 2))
+	busyP99 := cellFloat(t, tb.Cell(1, 2))
+	if busyP99 <= idleP99 {
+		t.Errorf("GC did not raise read p99: idle %v, busy %v", idleP99, busyP99)
+	}
+	if gc := cellFloat(t, tb.Cell(1, 4)); gc == 0 {
+		t.Error("no GC erases during phase B")
+	}
+}
+
+func TestE3DeviceSpreadExceedsChipSpread(t *testing.T) {
+	r, err := E3ChipVsSSD(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := r.Tables[0]
+	// Chip read latency is constant: min == max.
+	if tb.Cell(0, 2) != tb.Cell(0, 5) {
+		t.Errorf("chip read min %s != max %s", tb.Cell(0, 2), tb.Cell(0, 5))
+	}
+	// Device read spread is wide.
+	devSpread := cellFloat(t, tb.Cell(2, 6))
+	if devSpread < 2 {
+		t.Errorf("device read max/min = %v, want >= 2", devSpread)
+	}
+}
+
+func TestE4StaticPlacementLoses(t *testing.T) {
+	r, err := E4Bimodal(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := r.Tables[0]
+	// Rows: dynamic/seq, static/seq, dynamic/collide, static/collide.
+	dynCollide := cellFloat(t, tb.Cell(2, 2))
+	statCollide := cellFloat(t, tb.Cell(3, 2))
+	if statCollide < 2*dynCollide {
+		t.Errorf("host-pinned colliding writes (%v ms) not much slower than device-scheduled (%v ms)",
+			statCollide, dynCollide)
+	}
+}
+
+func TestE5GenerationsDiffer(t *testing.T) {
+	r, err := E5RandVsSeqWrites(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := r.Tables[0]
+	// Rows come in pairs (SW, RW) per device:
+	// 0/1 Consumer2008, 2/3 Enterprise2012, ...
+	consumerSlow := cellFloat(t, tb.Cell(1, 5))
+	enterpriseSlow := cellFloat(t, tb.Cell(3, 5))
+	if consumerSlow < 3 {
+		t.Errorf("Consumer2008 rand/seq slowdown = %v, want >= 3", consumerSlow)
+	}
+	if enterpriseSlow > 2 {
+		t.Errorf("Enterprise2012 rand/seq slowdown = %v, want <= 2 (myth dead)", enterpriseSlow)
+	}
+	if consumerSlow < 2*enterpriseSlow {
+		t.Errorf("generations should differ strongly: %v vs %v", consumerSlow, enterpriseSlow)
+	}
+}
+
+func TestE6RandomRaisesWA(t *testing.T) {
+	r, err := E6WriteAmplification(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := r.Tables[0]
+	// Find greedy/12% rows for SW and RW.
+	var seqWA, randWA float64
+	for row := 0; row < tb.Rows(); row++ {
+		if tb.Cell(row, 1) == "greedy" && tb.Cell(row, 2) == "12%" {
+			switch tb.Cell(row, 0) {
+			case "SW":
+				seqWA = cellFloat(t, tb.Cell(row, 3))
+			case "RW":
+				randWA = cellFloat(t, tb.Cell(row, 3))
+			}
+		}
+	}
+	if randWA <= seqWA {
+		t.Errorf("random WA (%v) should exceed sequential WA (%v)", randWA, seqWA)
+	}
+	if seqWA < 1 || randWA < 1 {
+		t.Errorf("WA below 1: seq=%v rand=%v", seqWA, randWA)
+	}
+}
+
+func TestE7ReadsSlowerThanBufferedWrites(t *testing.T) {
+	r, err := E7ReadTailLatency(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := r.Tables[0]
+	writeP99 := cellFloat(t, tb.Cell(0, 2))
+	readP99 := cellFloat(t, tb.Cell(1, 2))
+	readMax := cellFloat(t, tb.Cell(1, 3))
+	if readP99 <= writeP99 {
+		t.Errorf("read p99 (%v) should exceed buffered write p99 (%v)", readP99, writeP99)
+	}
+	// Reads stall behind erases: max read latency should approach
+	// millisecond scale (erase is 3ms).
+	if readMax < 1000 {
+		t.Errorf("max read latency %vµs; expected erase-scale stalls", readMax)
+	}
+}
+
+func TestE8ReadBandwidthCollapsesOnCollision(t *testing.T) {
+	r, err := E8ReadVsWriteParallelism(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := r.Tables[0]
+	scattered := cellFloat(t, tb.Cell(0, 3))
+	collided := cellFloat(t, tb.Cell(1, 3))
+	seqWrites := cellFloat(t, tb.Cell(2, 3))
+	stridedWrites := cellFloat(t, tb.Cell(3, 3))
+	if scattered < 2*collided {
+		t.Errorf("collided reads (%v) should be much slower than scattered (%v)", collided, scattered)
+	}
+	// Writes are pattern-independent: scheduler freedom.
+	if stridedWrites < seqWrites*0.7 || stridedWrites > seqWrites*1.3 {
+		t.Errorf("write bandwidth should be pattern-independent: seq %v vs strided %v", seqWrites, stridedWrites)
+	}
+}
+
+func TestE9ScalingDirections(t *testing.T) {
+	r, err := E9ChannelChipScaling(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := r.Tables[0]
+	read := map[[2]int]float64{}
+	write := map[[2]int]float64{}
+	for row := 0; row < tb.Rows(); row++ {
+		ch := int(cellFloat(t, tb.Cell(row, 0)))
+		cp := int(cellFloat(t, tb.Cell(row, 1)))
+		read[[2]int{ch, cp}] = cellFloat(t, tb.Cell(row, 2))
+		write[[2]int{ch, cp}] = cellFloat(t, tb.Cell(row, 3))
+	}
+	// Reads: adding channels helps much more than adding chips.
+	readChanGain := read[[2]int{4, 1}] / read[[2]int{1, 1}]
+	readChipGain := read[[2]int{1, 4}] / read[[2]int{1, 1}]
+	if readChanGain < readChipGain {
+		t.Errorf("reads: channel gain %v < chip gain %v", readChanGain, readChipGain)
+	}
+	// Writes: adding chips on one channel helps much more than channels
+	// alone... adding channels with one chip each cannot beat chips.
+	writeChipGain := write[[2]int{1, 4}] / write[[2]int{1, 1}]
+	if writeChipGain < 2 {
+		t.Errorf("writes: chip gain %v, want >= 2", writeChipGain)
+	}
+}
+
+func TestE10PCMCommitsFaster(t *testing.T) {
+	r, err := E10CommitLatency(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := r.Tables[0]
+	// Rows: conservative/1, progressive/1, conservative/8, progressive/8.
+	consP50 := cellFloat(t, tb.Cell(0, 3))
+	progP50 := cellFloat(t, tb.Cell(1, 3))
+	if consP50 < 10*progP50 {
+		t.Errorf("PCM commit p50 %vµs vs block %vµs: want >= 10x gap", progP50, consP50)
+	}
+}
+
+func TestE11CommunicationWins(t *testing.T) {
+	r, err := E11Codesign(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta := r.Tables[0]
+	waInformed := cellFloat(t, ta.Cell(0, 1))
+	waBlind := cellFloat(t, ta.Cell(1, 1))
+	if waInformed >= waBlind {
+		t.Errorf("informed WA (%v) should be below blind WA (%v)", waInformed, waBlind)
+	}
+	tbl := r.Tables[1]
+	atomicT := cellFloat(t, tbl.Cell(0, 1))
+	doubleT := cellFloat(t, tbl.Cell(1, 1))
+	if atomicT >= doubleT {
+		t.Errorf("atomic flip (%vµs) should beat double-write (%vµs)", atomicT, doubleT)
+	}
+}
+
+func TestE12StackOrdering(t *testing.T) {
+	r, err := E12StackOverhead(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := r.Tables[0]
+	// At 8 threads (last row): direct > mq > sq.
+	last := tb.Rows() - 1
+	sq := cellFloat(t, tb.Cell(last, 1))
+	mq := cellFloat(t, tb.Cell(last, 2))
+	di := cellFloat(t, tb.Cell(last, 3))
+	if !(di > mq && mq > sq) {
+		t.Errorf("want direct > mq > sq, got %v > %v > %v", di, mq, sq)
+	}
+}
+
+func TestE13InterfaceDominatesMedium(t *testing.T) {
+	r, err := E13PCMSSD(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := r.Tables[0]
+	busP50 := cellFloat(t, tb.Cell(0, 2))
+	ssdP50 := cellFloat(t, tb.Cell(1, 2))
+	flashP50 := cellFloat(t, tb.Cell(2, 2))
+	if ssdP50 < 5*busP50 {
+		t.Errorf("PCM SSD p50 %vµs should be >> memory-bus %vµs", ssdP50, busP50)
+	}
+	if flashP50 < ssdP50 {
+		t.Errorf("flash (%vµs) should be slower than PCM SSD (%vµs)", flashP50, ssdP50)
+	}
+}
+
+func TestE14MatrixSeparatesGenerations(t *testing.T) {
+	r, err := E14UFLIP(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := r.Tables[0]
+	// Consumer2008 row: RW << SW. Enterprise row: RW ~ SW.
+	consSW := cellFloat(t, tb.Cell(0, 3))
+	consRW := cellFloat(t, tb.Cell(0, 4))
+	entSW := cellFloat(t, tb.Cell(1, 3))
+	entRW := cellFloat(t, tb.Cell(1, 4))
+	if consRW*2 > consSW {
+		t.Errorf("Consumer2008 RW (%v) should collapse vs SW (%v)", consRW, consSW)
+	}
+	if entRW*2 < entSW {
+		t.Errorf("Enterprise2012 RW (%v) should track SW (%v)", entRW, entSW)
+	}
+}
+
+func TestAllRunnersListed(t *testing.T) {
+	if len(All) != 14 {
+		t.Fatalf("All has %d runners, want 14", len(All))
+	}
+	seen := map[string]bool{}
+	for _, r := range All {
+		if seen[r.ID] {
+			t.Fatalf("duplicate runner %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Run == nil {
+			t.Fatalf("runner %s has no function", r.ID)
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r, err := E1Figure1(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.String()
+	for _, want := range []string{"E1", "paper claim", "measured:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("result output missing %q", want)
+		}
+	}
+}

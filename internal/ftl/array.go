@@ -1,0 +1,312 @@
+// Package ftl implements the flash translation layer family the paper's
+// Figure 2 describes — scheduling & mapping, garbage collection, and
+// wear leveling over a shared flash array — in four generations:
+//
+//   - PageFTL: full page-level mapping with write-back buffering, the
+//     "modern 2012 enterprise" design (random writes ≈ sequential);
+//   - BlockFTL: pure block mapping (early flash devices);
+//   - HybridFTL: FAST-style log blocks over block mapping, the pre-2009
+//     consumer design whose random writes collapse (Myth 2);
+//   - DFTL: page mapping with a demand-paged mapping cache (Gupta et
+//     al., ASPLOS 2009), referenced directly by the paper.
+//
+// All of them drive an Array: channels × chips with real operation
+// timing, so FTL policy differences surface as latency and bandwidth.
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/nand"
+	"repro/internal/sim"
+)
+
+// Array errors.
+var (
+	// ErrArrayGeometry reports inconsistent array construction.
+	ErrArrayGeometry = errors.New("ftl: invalid array geometry")
+	// ErrPPARange reports a physical page address outside the array.
+	ErrPPARange = errors.New("ftl: physical page address out of range")
+)
+
+// PPA is a flat physical page address across the whole array.
+type PPA int64
+
+// InvalidPPA marks an unmapped or discarded page.
+const InvalidPPA PPA = -1
+
+// PBA is a flat physical block address across the whole array.
+type PBA int64
+
+// InvalidPBA marks no-block.
+const InvalidPBA PBA = -1
+
+// Array is the physical flash fabric: nChannels channels, each with
+// chipsPerChannel chips, all of one spec. It provides timed composite
+// operations (channel transfer + chip array op) and flat physical
+// addressing.
+type Array struct {
+	eng      *sim.Engine
+	spec     nand.Spec
+	channels []*bus.Channel
+	chips    []*nand.Chip // chip i sits on channel i / chipsPerChannel... see chanOf
+	perChan  int
+
+	pagesPerChip  int64
+	blocksPerChip int64
+	pagesPerBlock int64
+
+	// Counters for traffic accounting (write amplification etc.).
+	PageReads    int64
+	PagePrograms int64
+	BlockErases  int64
+	CopyBacks    int64
+}
+
+// ArrayConfig sizes an array.
+type ArrayConfig struct {
+	Channels        int
+	ChipsPerChannel int
+	Chip            nand.Spec
+	Channel         bus.Config
+}
+
+// NewArray builds the fabric on eng. seed drives per-chip reliability
+// randomness; pass rngSeed 0 to disable wear/error randomness entirely
+// (fully deterministic content experiments).
+func NewArray(eng *sim.Engine, cfg ArrayConfig, rngSeed uint64) (*Array, error) {
+	if cfg.Channels <= 0 || cfg.ChipsPerChannel <= 0 {
+		return nil, fmt.Errorf("%w: %d channels x %d chips", ErrArrayGeometry, cfg.Channels, cfg.ChipsPerChannel)
+	}
+	if err := cfg.Chip.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Array{
+		eng:     eng,
+		spec:    cfg.Chip,
+		perChan: cfg.ChipsPerChannel,
+	}
+	g := cfg.Chip.Geometry
+	a.pagesPerChip = int64(g.PagesPerChip())
+	a.blocksPerChip = int64(g.BlocksPerChip())
+	a.pagesPerBlock = int64(g.PagesPerBlock)
+	for c := 0; c < cfg.Channels; c++ {
+		ch, err := bus.NewChannel(eng, fmt.Sprintf("ch%d", c), cfg.Channel)
+		if err != nil {
+			return nil, err
+		}
+		a.channels = append(a.channels, ch)
+		for k := 0; k < cfg.ChipsPerChannel; k++ {
+			var rng *sim.RNG
+			if rngSeed != 0 {
+				rng = sim.NewRNG(rngSeed + uint64(c*cfg.ChipsPerChannel+k)*0x9e37)
+			}
+			chip, err := nand.NewChip(eng, cfg.Chip, rng, fmt.Sprintf("ch%d.chip%d", c, k))
+			if err != nil {
+				return nil, err
+			}
+			a.chips = append(a.chips, chip)
+		}
+	}
+	return a, nil
+}
+
+// Engine returns the simulation engine.
+func (a *Array) Engine() *sim.Engine { return a.eng }
+
+// Spec returns the chip parameterization.
+func (a *Array) Spec() nand.Spec { return a.spec }
+
+// Chips reports the number of chips.
+func (a *Array) Chips() int { return len(a.chips) }
+
+// Channels reports the number of channels.
+func (a *Array) Channels() int { return len(a.channels) }
+
+// Chip returns chip i.
+func (a *Array) Chip(i int) *nand.Chip { return a.chips[i] }
+
+// Channel returns channel i.
+func (a *Array) Channel(i int) *bus.Channel { return a.channels[i] }
+
+// ChannelOf returns the channel serving chip i.
+func (a *Array) ChannelOf(chip int) *bus.Channel { return a.channels[chip/a.perChan] }
+
+// PageSize returns the page size in bytes.
+func (a *Array) PageSize() int { return a.spec.Geometry.PageSize }
+
+// PagesPerBlock returns pages per block.
+func (a *Array) PagesPerBlock() int { return int(a.pagesPerBlock) }
+
+// TotalPages reports all data pages in the array.
+func (a *Array) TotalPages() int64 { return a.pagesPerChip * int64(len(a.chips)) }
+
+// TotalBlocks reports all blocks in the array.
+func (a *Array) TotalBlocks() int64 { return a.blocksPerChip * int64(len(a.chips)) }
+
+// BlocksPerChip reports blocks in one chip.
+func (a *Array) BlocksPerChip() int64 { return a.blocksPerChip }
+
+// MakePPA builds a flat PPA from chip index and chip-local address.
+func (a *Array) MakePPA(chip int, addr nand.Addr) PPA {
+	g := a.spec.Geometry
+	idx := ((int64(addr.LUN)*int64(g.PlanesPerLUN)+int64(addr.Plane))*int64(g.BlocksPerPlane)+int64(addr.Block))*a.pagesPerBlock + int64(addr.Page)
+	return PPA(int64(chip)*a.pagesPerChip + idx)
+}
+
+// SplitPPA decomposes a flat PPA.
+func (a *Array) SplitPPA(p PPA) (chip int, addr nand.Addr, err error) {
+	if p < 0 || int64(p) >= a.TotalPages() {
+		return 0, nand.Addr{}, fmt.Errorf("%w: %d", ErrPPARange, p)
+	}
+	g := a.spec.Geometry
+	chip = int(int64(p) / a.pagesPerChip)
+	idx := int64(p) % a.pagesPerChip
+	addr.Page = int(idx % a.pagesPerBlock)
+	idx /= a.pagesPerBlock
+	addr.Block = int(idx % int64(g.BlocksPerPlane))
+	idx /= int64(g.BlocksPerPlane)
+	addr.Plane = int(idx % int64(g.PlanesPerLUN))
+	addr.LUN = int(idx / int64(g.PlanesPerLUN))
+	return chip, addr, nil
+}
+
+// MakePBA builds a flat block address.
+func (a *Array) MakePBA(chip int, b nand.BlockAddr) PBA {
+	g := a.spec.Geometry
+	idx := (int64(b.LUN)*int64(g.PlanesPerLUN)+int64(b.Plane))*int64(g.BlocksPerPlane) + int64(b.Block)
+	return PBA(int64(chip)*a.blocksPerChip + idx)
+}
+
+// SplitPBA decomposes a flat block address.
+func (a *Array) SplitPBA(b PBA) (chip int, addr nand.BlockAddr, err error) {
+	if b < 0 || int64(b) >= a.TotalBlocks() {
+		return 0, nand.BlockAddr{}, fmt.Errorf("%w: block %d", ErrPPARange, b)
+	}
+	g := a.spec.Geometry
+	chip = int(int64(b) / a.blocksPerChip)
+	idx := int64(b) % a.blocksPerChip
+	addr.Block = int(idx % int64(g.BlocksPerPlane))
+	idx /= int64(g.BlocksPerPlane)
+	addr.Plane = int(idx % int64(g.PlanesPerLUN))
+	addr.LUN = int(idx / int64(g.PlanesPerLUN))
+	return chip, addr, nil
+}
+
+// PPAOfBlock returns the PPA of page pg within block b.
+func (a *Array) PPAOfBlock(b PBA, pg int) PPA {
+	chip, addr, err := a.SplitPBA(b)
+	if err != nil {
+		return InvalidPPA
+	}
+	return a.MakePPA(chip, nand.Addr{LUN: addr.LUN, Plane: addr.Plane, Block: addr.Block, Page: pg})
+}
+
+// BlockOf returns the block containing PPA p.
+func (a *Array) BlockOf(p PPA) PBA {
+	chip, addr, err := a.SplitPPA(p)
+	if err != nil {
+		return InvalidPBA
+	}
+	return a.MakePBA(chip, addr.BlockAddr())
+}
+
+// ChipOf returns the chip index of a PPA.
+func (a *Array) ChipOf(p PPA) int { return int(int64(p) / a.pagesPerChip) }
+
+// ChipOfBlock returns the chip index of a PBA.
+func (a *Array) ChipOfBlock(b PBA) int { return int(int64(b) / a.blocksPerChip) }
+
+// ReadPage performs a timed page read: LUN busy for tR, then the data
+// moves across the chip's channel. done receives payload, OOB, the raw
+// bit-error count (for the ECC layer), and any chip error.
+func (a *Array) ReadPage(p PPA, done func(data, oob []byte, bitErrors int, err error)) {
+	chip, addr, err := a.SplitPPA(p)
+	if err != nil {
+		done(nil, nil, 0, err)
+		return
+	}
+	a.PageReads++
+	ch := a.ChannelOf(chip)
+	rerr := a.chips[chip].Read(addr, func(res nand.ReadResult, rerr error) {
+		if rerr != nil {
+			done(nil, nil, 0, rerr)
+			return
+		}
+		ch.TransferFrom(a.eng.Now(), a.PageSize(), "xfer-out", func(_, _ sim.Time) {
+			done(res.Data, res.OOB, res.BitErrors, nil)
+		})
+	})
+	if rerr != nil {
+		done(nil, nil, 0, rerr)
+	}
+}
+
+// WritePage performs a timed page program: data crosses the channel,
+// then the LUN is busy for tPROG, with the program chained behind the
+// transfer. done receives ok=false on a wear-induced program failure.
+// Constraint violations (C2/C3) indicate FTL bugs and panic.
+func (a *Array) WritePage(p PPA, data, oob []byte, done func(ok bool)) {
+	chip, addr, err := a.SplitPPA(p)
+	if err != nil {
+		panic(fmt.Sprintf("ftl: WritePage: %v", err))
+	}
+	a.PagePrograms++
+	ch := a.ChannelOf(chip)
+	xferEnd := ch.Transfer(a.PageSize(), "xfer-in", nil)
+	if perr := a.chips[chip].ProgramFrom(xferEnd, addr, data, oob, done); perr != nil {
+		panic(fmt.Sprintf("ftl: program %v: %v", addr, perr))
+	}
+}
+
+// EraseBlock performs a timed erase: a command cycle on the channel,
+// then the LUN busy for tBERS.
+func (a *Array) EraseBlock(b PBA, done func(ok bool)) {
+	chip, addr, err := a.SplitPBA(b)
+	if err != nil {
+		panic(fmt.Sprintf("ftl: EraseBlock: %v", err))
+	}
+	a.BlockErases++
+	ch := a.ChannelOf(chip)
+	cmdEnd := ch.Command("erase-cmd", nil)
+	if eerr := a.chips[chip].EraseFrom(cmdEnd, addr, done); eerr != nil {
+		panic(fmt.Sprintf("ftl: erase %v: %v", addr, eerr))
+	}
+}
+
+// CopyPage moves one page src -> dst. When both live in the same plane
+// of the same chip it uses on-chip copyback (no channel occupancy);
+// otherwise it reads across the channel and programs across the
+// destination channel. done receives ok=false on program failure.
+func (a *Array) CopyPage(src, dst PPA, done func(ok bool)) {
+	sc, saddr, err := a.SplitPPA(src)
+	if err != nil {
+		panic(fmt.Sprintf("ftl: CopyPage src: %v", err))
+	}
+	dc, daddr, err := a.SplitPPA(dst)
+	if err != nil {
+		panic(fmt.Sprintf("ftl: CopyPage dst: %v", err))
+	}
+	if sc == dc && saddr.LUN == daddr.LUN && saddr.Plane == daddr.Plane {
+		a.CopyBacks++
+		if cerr := a.chips[sc].CopyBack(saddr, daddr, done); cerr != nil {
+			panic(fmt.Sprintf("ftl: copyback %v->%v: %v", saddr, daddr, cerr))
+		}
+		return
+	}
+	a.ReadPage(src, func(data, oob []byte, _ int, rerr error) {
+		if rerr != nil {
+			done(false)
+			return
+		}
+		a.WritePage(dst, data, oob, done)
+	})
+}
+
+// LUNFreeAt reports when the LUN holding PPA p frees up — the signal the
+// write scheduler uses to pick the least-busy chip.
+func (a *Array) LUNFreeAt(chip, lun int) sim.Time {
+	return a.chips[chip].LUNServer(lun).FreeAt()
+}

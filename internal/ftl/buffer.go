@@ -1,0 +1,187 @@
+package ftl
+
+// writeBuffer models the controller's RAM write-back cache — the paper's
+// first reason random writes got cheap: "high-end SSDs now include safe
+// RAM buffers (with batteries) ... a write I/O request completes as soon
+// as it hits the cache". Writes coalesce by LPN; a background flusher
+// drains oldest-first with bounded fanout so flushes stripe over chips;
+// when the buffer fills, host writes stall until space frees
+// (back-pressure, visible as write tail latency).
+type writeBuffer struct {
+	f      *PageFTL
+	cap    int
+	high   int // start background flush above this
+	low    int // stop background flush at or below this
+	fanout int // concurrent flush programs
+
+	entries map[int64]*bufEntry
+	fifo    []int64 // admission order; may contain superseded lpns
+
+	flushing int
+	draining bool
+	waiting  []writeJob // host writes stalled on a full buffer
+}
+
+type bufEntry struct {
+	data  []byte
+	hasIt bool // distinguishes nil-payload entries from absence
+}
+
+func newWriteBuffer(f *PageFTL, capPages, fanout int) *writeBuffer {
+	if fanout <= 0 {
+		fanout = f.arr.Chips()
+	}
+	return &writeBuffer{
+		f:       f,
+		cap:     capPages,
+		high:    capPages * 3 / 4,
+		low:     capPages / 2,
+		entries: make(map[int64]*bufEntry),
+		fanout:  fanout,
+	}
+}
+
+func (b *writeBuffer) empty() bool {
+	return len(b.entries) == 0 && b.flushing == 0 && len(b.waiting) == 0
+}
+
+// get serves a read hit from the buffer.
+func (b *writeBuffer) get(lpn int64) ([]byte, bool) {
+	e, ok := b.entries[lpn]
+	if !ok {
+		return nil, false
+	}
+	if e.data == nil {
+		return nil, true
+	}
+	return append([]byte(nil), e.data...), true
+}
+
+// drop removes a trimmed LPN.
+func (b *writeBuffer) drop(lpn int64) {
+	delete(b.entries, lpn)
+}
+
+// insert admits a host write, coalescing with any buffered version.
+// The ack (done) fires at RAM speed unless the buffer is full, in which
+// case the write stalls until a flush frees space.
+func (b *writeBuffer) insert(lpn int64, data []byte, done func(error)) {
+	if e, ok := b.entries[lpn]; ok {
+		// Overwrite in place: no new slot consumed.
+		if data != nil {
+			e.data = append(e.data[:0], data...)
+		} else {
+			e.data = nil
+		}
+		b.f.eng.After(bufferAckLatency, func() { done(nil) })
+		return
+	}
+	if len(b.entries) >= b.cap {
+		b.f.stats.BufferStalls++
+		b.waiting = append(b.waiting, writeJob{lpn: lpn, data: cloneBytes(data), done: func(_ PPA, err error) { done(err) }})
+		b.kick()
+		return
+	}
+	b.admit(lpn, data)
+	b.f.eng.After(bufferAckLatency, func() { done(nil) })
+	if len(b.entries) > b.high {
+		b.kick()
+	}
+}
+
+func cloneBytes(d []byte) []byte {
+	if d == nil {
+		return nil
+	}
+	return append([]byte(nil), d...)
+}
+
+func (b *writeBuffer) admit(lpn int64, data []byte) {
+	b.entries[lpn] = &bufEntry{data: cloneBytes(data), hasIt: true}
+	b.fifo = append(b.fifo, lpn)
+}
+
+// target is the entry count the flusher is currently driving toward.
+func (b *writeBuffer) target() int {
+	if b.draining || len(b.waiting) > 0 {
+		return 0
+	}
+	return b.low
+}
+
+// kick starts flush work up to the fanout limit.
+func (b *writeBuffer) kick() {
+	for b.flushing < b.fanout && len(b.entries) > b.target() {
+		lpn, ok := b.popOldest()
+		if !ok {
+			return
+		}
+		e := b.entries[lpn]
+		delete(b.entries, lpn)
+		b.flushing++
+		b.f.writePhys(writeJob{lpn: lpn, data: e.data, done: func(_ PPA, err error) {
+			b.flushing--
+			b.admitWaiting()
+			if b.draining && len(b.entries) == 0 && b.flushing == 0 {
+				b.draining = false
+			}
+			b.kick()
+			if b.empty() {
+				b.f.wakeFlushWaiters()
+			}
+			_ = err // flash-level failures were already retried by the FTL
+		}})
+	}
+}
+
+// popOldest returns the oldest LPN still resident in the buffer.
+func (b *writeBuffer) popOldest() (int64, bool) {
+	for len(b.fifo) > 0 {
+		lpn := b.fifo[0]
+		b.fifo = b.fifo[1:]
+		if _, ok := b.entries[lpn]; ok {
+			return lpn, true
+		}
+	}
+	return 0, false
+}
+
+// admitWaiting moves stalled writes into freed slots.
+func (b *writeBuffer) admitWaiting() {
+	for len(b.waiting) > 0 && len(b.entries) < b.cap {
+		job := b.waiting[0]
+		b.waiting = b.waiting[0:copy(b.waiting, b.waiting[1:])]
+		if e, ok := b.entries[job.lpn]; ok {
+			e.data = cloneBytes(job.data)
+		} else {
+			b.admit(job.lpn, job.data)
+		}
+		done := job.done
+		b.f.eng.After(bufferAckLatency, func() { done(InvalidPPA, nil) })
+	}
+}
+
+// drainAll flushes everything (Flush / shutdown).
+func (b *writeBuffer) drainAll() {
+	b.draining = true
+	b.kick()
+	if len(b.entries) == 0 {
+		b.draining = false
+	}
+}
+
+// dropVolatile models power loss with a volatile buffer: un-flushed
+// entries vanish. It returns the lost LPNs (for tests).
+func (b *writeBuffer) dropVolatile() []int64 {
+	var lost []int64
+	for lpn := range b.entries {
+		lost = append(lost, lpn)
+	}
+	b.entries = make(map[int64]*bufEntry)
+	b.fifo = nil
+	for _, j := range b.waiting {
+		j.done(InvalidPPA, nil) // acked writes lost silently, like real volatile caches
+	}
+	b.waiting = nil
+	return lost
+}

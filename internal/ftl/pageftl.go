@@ -1,0 +1,604 @@
+package ftl
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Reverse-map sentinels.
+const (
+	rmapDead     int64 = -1 // physical page holds no live data
+	rmapNameless int64 = -2 // physical page is live but host-addressed
+)
+
+// blockState tracks a physical block through its lifecycle.
+type blockState uint8
+
+const (
+	blockFree blockState = iota
+	blockOpen
+	blockFull
+	blockBad
+)
+
+// blockMeta is the FTL's bookkeeping for one physical block.
+type blockMeta struct {
+	state      blockState
+	valid      int32
+	writePtr   int32
+	eraseCount int32
+	lastWrite  sim.Time
+}
+
+// writeJob is a (possibly deferred) physical write request.
+type writeJob struct {
+	lpn  int64 // >= 0 logical, rmapNameless for nameless writes
+	data []byte
+	done func(ppa PPA, err error)
+}
+
+// chipState is per-chip allocation and GC state.
+type chipState struct {
+	free        []PBA
+	open        PBA // host write frontier
+	gcOpen      PBA // GC/wear-leveling destination frontier
+	gcActive    bool
+	pending     []writeJob // writes stalled waiting for reclaimed space
+	erases      int64      // for periodic static-WL checks
+	lastWLCheck int64      // erase count at the previous static-WL check
+}
+
+// Controller-internal latencies.
+const (
+	bufferHitLatency  = 2 * sim.Microsecond // RAM lookup + return path
+	unmappedLatency   = 1 * sim.Microsecond // mapping miss answered from RAM
+	bufferAckLatency  = 2 * sim.Microsecond // write-back ack once buffered
+	staticWLCheckRate = 16                  // erases between static-WL checks
+)
+
+// PageFTL is a page-level mapped FTL: any logical page can live on any
+// physical page, so the scheduler is free to stripe writes over chips —
+// the design the paper credits for making random writes cheap (Myth 2)
+// — with greedy or cost-benefit GC, dynamic and static wear leveling,
+// and an optional battery-backed write-back buffer.
+type PageFTL struct {
+	eng *sim.Engine
+	arr *Array
+	cfg Config
+	rng *sim.RNG
+
+	capacity int64
+	mapping  []PPA   // lpn -> ppa
+	rmap     []int64 // ppa -> lpn | rmapDead | rmapNameless
+	blocks   []blockMeta
+	chips    []chipState
+
+	buf      *writeBuffer
+	relocate func(old, new PPA) // nameless-page relocation notifier
+
+	inFlight     int64 // outstanding flash programs + GC copies
+	flushWaiters []func()
+
+	rr    int // round-robin tiebreaker for placement
+	stats Stats
+}
+
+var _ FTL = (*PageFTL)(nil)
+
+// NewPageFTL builds a page-mapped FTL over arr.
+func NewPageFTL(arr *Array, cfg Config) (*PageFTL, error) {
+	cfg.normalize()
+	f := &PageFTL{
+		eng: arr.Engine(),
+		arr: arr,
+		cfg: cfg,
+		rng: sim.NewRNG(cfg.Seed),
+	}
+	total := arr.TotalPages()
+	f.capacity = int64(float64(total) * (1 - cfg.OverProvision))
+	f.mapping = make([]PPA, f.capacity)
+	for i := range f.mapping {
+		f.mapping[i] = InvalidPPA
+	}
+	f.rmap = make([]int64, total)
+	for i := range f.rmap {
+		f.rmap[i] = rmapDead
+	}
+	f.blocks = make([]blockMeta, arr.TotalBlocks())
+	f.chips = make([]chipState, arr.Chips())
+	blocksPerChip := arr.BlocksPerChip()
+	for c := range f.chips {
+		cs := &f.chips[c]
+		cs.open, cs.gcOpen = InvalidPBA, InvalidPBA
+		for b := int64(0); b < blocksPerChip; b++ {
+			pba := PBA(int64(c)*blocksPerChip + b)
+			_, baddr, err := arr.SplitPBA(pba)
+			if err != nil {
+				return nil, err
+			}
+			if arr.Chip(c).IsBad(baddr) {
+				f.blocks[pba].state = blockBad
+				continue
+			}
+			cs.free = append(cs.free, pba)
+		}
+		if len(cs.free) <= cfg.GCReserve+1 {
+			return nil, fmt.Errorf("%w: chip %d has only %d usable blocks", ErrArrayGeometry, c, len(cs.free))
+		}
+	}
+	if cfg.BufferPages > 0 {
+		f.buf = newWriteBuffer(f, cfg.BufferPages, cfg.FlushFanout)
+	}
+	return f, nil
+}
+
+// Array returns the underlying flash fabric.
+func (f *PageFTL) Array() *Array { return f.arr }
+
+// Capacity reports the exported logical size in pages.
+func (f *PageFTL) Capacity() int64 { return f.capacity }
+
+// PageSize reports the page size in bytes.
+func (f *PageFTL) PageSize() int { return f.arr.PageSize() }
+
+// Stats returns a snapshot of the traffic counters.
+func (f *PageFTL) Stats() Stats { return f.stats }
+
+// SetRelocationNotifier registers the callback invoked when GC moves a
+// nameless (host-addressed) page — the device-to-host half of the
+// paper's "communicating peers" interface.
+func (f *PageFTL) SetRelocationNotifier(fn func(old, new PPA)) { f.relocate = fn }
+
+// BufferSafe reports whether the write buffer survives power loss
+// (battery/capacitor backed). A device without a buffer is trivially
+// safe but cannot stage atomic groups, so this reports false then.
+func (f *PageFTL) BufferSafe() bool { return f.buf != nil && f.cfg.BufferSafe }
+
+// DropVolatileBuffer models a power failure: with a volatile buffer the
+// un-flushed writes vanish (their LPNs are returned, for tests); with a
+// battery-backed buffer (Config.BufferSafe) nothing is lost. Part of the
+// Myth 2/Myth 3 story: the write-back cache that makes writes fast is a
+// durability liability unless it is made safe.
+func (f *PageFTL) DropVolatileBuffer() []int64 {
+	if f.buf == nil || f.cfg.BufferSafe {
+		return nil
+	}
+	return f.buf.dropVolatile()
+}
+
+// oobFor encodes the owning LPN into OOB metadata, as real FTLs do to
+// rebuild their mapping after power loss.
+func oobFor(lpn int64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(lpn))
+	return b[:]
+}
+
+func (f *PageFTL) checkLPN(lpn int64) error {
+	if lpn < 0 || lpn >= f.capacity {
+		return fmt.Errorf("%w: lpn %d, capacity %d", ErrLPNRange, lpn, f.capacity)
+	}
+	return nil
+}
+
+// ReadLPN implements FTL.
+func (f *PageFTL) ReadLPN(lpn int64, done func([]byte, error)) {
+	if err := f.checkLPN(lpn); err != nil {
+		done(nil, err)
+		return
+	}
+	f.stats.HostReads++
+	if f.buf != nil {
+		if data, ok := f.buf.get(lpn); ok {
+			f.stats.BufferHits++
+			f.eng.After(bufferHitLatency, func() { done(data, nil) })
+			return
+		}
+	}
+	ppa := f.mapping[lpn]
+	if ppa == InvalidPPA {
+		f.eng.After(unmappedLatency, func() { done(nil, nil) })
+		return
+	}
+	f.readPhys(ppa, done)
+}
+
+// readPhys reads a physical page and applies ECC.
+func (f *PageFTL) readPhys(ppa PPA, done func([]byte, error)) {
+	f.arr.ReadPage(ppa, func(data, _ []byte, bitErrors int, err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		if _, eccErr := f.cfg.ECC.Decode(f.PageSize(), bitErrors, f.rng); eccErr != nil {
+			f.stats.ReadErrors++
+			done(nil, fmt.Errorf("%w: ppa %d: %v", ErrUncorrectable, ppa, eccErr))
+			return
+		}
+		done(data, nil)
+	})
+}
+
+// ReadPhys reads a physical page directly — the read half of the
+// nameless-write interface. The caller owns address translation.
+func (f *PageFTL) ReadPhys(ppa PPA, done func([]byte, error)) {
+	f.stats.HostReads++
+	f.readPhys(ppa, done)
+}
+
+// WriteLPN implements FTL.
+func (f *PageFTL) WriteLPN(lpn int64, data []byte, done func(error)) {
+	if err := f.checkLPN(lpn); err != nil {
+		done(err)
+		return
+	}
+	if data != nil && len(data) != f.PageSize() {
+		done(fmt.Errorf("ftl: payload %d bytes, page is %d", len(data), f.PageSize()))
+		return
+	}
+	f.stats.HostWrites++
+	if f.buf != nil {
+		f.buf.insert(lpn, data, done)
+		return
+	}
+	f.writePhys(writeJob{lpn: lpn, data: data, done: func(_ PPA, err error) { done(err) }})
+}
+
+// WriteNameless writes a page the device places wherever it likes and
+// returns the physical address to the host — the paper's §3 "nameless
+// writes". The page participates in GC; relocations are announced via
+// the relocation notifier.
+func (f *PageFTL) WriteNameless(data []byte, done func(PPA, error)) {
+	if data != nil && len(data) != f.PageSize() {
+		done(InvalidPPA, fmt.Errorf("ftl: payload %d bytes, page is %d", len(data), f.PageSize()))
+		return
+	}
+	f.stats.HostWrites++
+	f.writePhys(writeJob{lpn: rmapNameless, data: data, done: done})
+}
+
+// Trim implements FTL: drops the logical mapping so GC never copies the
+// page again.
+func (f *PageFTL) Trim(lpn int64) error {
+	if err := f.checkLPN(lpn); err != nil {
+		return err
+	}
+	f.stats.HostTrims++
+	if f.buf != nil {
+		f.buf.drop(lpn)
+	}
+	if old := f.mapping[lpn]; old != InvalidPPA {
+		f.mapping[lpn] = InvalidPPA
+		f.invalidate(old)
+	}
+	return nil
+}
+
+// TrimPhys drops a nameless page by physical address.
+func (f *PageFTL) TrimPhys(ppa PPA) error {
+	if ppa < 0 || int64(ppa) >= f.arr.TotalPages() {
+		return fmt.Errorf("%w: %d", ErrPPARange, ppa)
+	}
+	f.stats.HostTrims++
+	if f.rmap[ppa] == rmapNameless {
+		f.invalidate(ppa)
+	}
+	return nil
+}
+
+// Flush implements FTL: drains the write buffer and waits for all
+// outstanding flash programs.
+func (f *PageFTL) Flush(done func()) {
+	if f.buf != nil {
+		f.buf.drainAll()
+	}
+	if f.idle() {
+		f.eng.After(0, done)
+		return
+	}
+	f.flushWaiters = append(f.flushWaiters, done)
+}
+
+func (f *PageFTL) idle() bool {
+	return f.inFlight == 0 && (f.buf == nil || f.buf.empty())
+}
+
+func (f *PageFTL) wakeFlushWaiters() {
+	if len(f.flushWaiters) == 0 || !f.idle() {
+		return
+	}
+	ws := f.flushWaiters
+	f.flushWaiters = nil
+	for _, w := range ws {
+		w()
+	}
+}
+
+// invalidate marks a physical page dead and decrements its block's
+// valid count.
+func (f *PageFTL) invalidate(ppa PPA) {
+	if f.rmap[ppa] == rmapDead {
+		return
+	}
+	f.rmap[ppa] = rmapDead
+	f.blocks[f.arr.BlockOf(ppa)].valid--
+}
+
+// pickChip chooses the chip for a host write; ok is false when no chip
+// can accept a write right now.
+func (f *PageFTL) pickChip(lpn int64) (int, bool) {
+	n := f.arr.Chips()
+	if f.cfg.Placement == PlaceStatic && lpn >= 0 {
+		return int(lpn % int64(n)), true
+	}
+	// Dynamic: chip with space whose LUN 0 frees earliest; round-robin
+	// breaks ties so an idle array still stripes.
+	best, bestAt := -1, sim.MaxTime
+	for i := 0; i < n; i++ {
+		c := (f.rr + i) % n
+		if !f.hostSpace(c) {
+			continue
+		}
+		at := f.arr.LUNFreeAt(c, 0)
+		if at < bestAt {
+			best, bestAt = c, at
+		}
+	}
+	f.rr = (f.rr + 1) % n
+	if best < 0 {
+		return f.rr, false
+	}
+	return best, true
+}
+
+// headroomPages counts the free pages GC can still write into on a
+// chip: whole free blocks plus the remainder of the GC frontier.
+func (f *PageFTL) headroomPages(c int) int {
+	cs := &f.chips[c]
+	ppb := f.arr.PagesPerBlock()
+	pages := len(cs.free) * ppb
+	if cs.gcOpen != InvalidPBA {
+		pages += ppb - int(f.blocks[cs.gcOpen].writePtr)
+	}
+	return pages
+}
+
+// hostSpace reports whether chip c can accept a host write now without
+// eating into the headroom GC needs to keep reclaiming.
+func (f *PageFTL) hostSpace(c int) bool {
+	cs := &f.chips[c]
+	if cs.open != InvalidPBA && int(f.blocks[cs.open].writePtr) < f.arr.PagesPerBlock() {
+		return true
+	}
+	return f.headroomPages(c) >= (f.cfg.GCReserve+1)*f.arr.PagesPerBlock()
+}
+
+// writePhys routes a write job to a chip, possibly deferring it until GC
+// reclaims space.
+func (f *PageFTL) writePhys(job writeJob) {
+	chip, ok := f.pickChip(job.lpn)
+	if !ok && f.cfg.Placement != PlaceStatic {
+		// No chip has immediate space: park the job where reclamation
+		// can actually happen.
+		f.reroute([]writeJob{job})
+		return
+	}
+	f.writeOnChip(chip, job)
+}
+
+// reroute finds a home for jobs whose chip cannot reclaim space: first a
+// chip with immediate room, then a chip whose GC is running or could
+// run. Only when no chip anywhere holds reclaimable garbage do the jobs
+// fail with ErrDeviceFull.
+func (f *PageFTL) reroute(jobs []writeJob) {
+	n := f.arr.Chips()
+	for _, job := range jobs {
+		placed := false
+		for c := 0; c < n && !placed; c++ {
+			if f.hostSpace(c) {
+				f.writeOnChip(c, job)
+				placed = true
+			}
+		}
+		if placed {
+			continue
+		}
+		for c := 0; c < n && !placed; c++ {
+			cs := &f.chips[c]
+			if cs.gcActive || f.pickVictim(c) != InvalidPBA {
+				cs.pending = append(cs.pending, job)
+				f.maybeStartGC(c)
+				// GC may already be at its high watermark yet garbage
+				// remains; force another pass for the parked job.
+				if !cs.gcActive {
+					cs.gcActive = true
+					f.gcStep(c)
+				}
+				placed = true
+			}
+		}
+		// Emergency: no garbage anywhere, but frontier pages remain above
+		// the GC evacuation floor. Writing there creates fresh garbage
+		// (these are overwrites — the device is at logical capacity) and
+		// restarts the reclamation cycle.
+		for c := 0; c < n && !placed; c++ {
+			if f.headroomPages(c) <= f.arr.PagesPerBlock() {
+				continue
+			}
+			if ppa, ok := f.allocPage(c, true); ok {
+				f.commitWrite(c, ppa, job)
+				placed = true
+			}
+		}
+		if !placed {
+			job.done(InvalidPPA, fmt.Errorf("%w: all chips full of valid data", ErrDeviceFull))
+		}
+	}
+}
+
+func (f *PageFTL) writeOnChip(chip int, job writeJob) {
+	ppa, ok := f.allocPage(chip, false)
+	if !ok {
+		cs := &f.chips[chip]
+		if f.cfg.Placement == PlaceStatic || cs.gcActive || f.pickVictim(chip) != InvalidPBA {
+			// Space will come back on this chip (or must, for static
+			// placement): park the write here.
+			cs.pending = append(cs.pending, job)
+			f.maybeStartGC(chip)
+			return
+		}
+		f.reroute([]writeJob{job})
+		return
+	}
+	f.commitWrite(chip, ppa, job)
+}
+
+// commitWrite updates mapping state and issues the flash program.
+func (f *PageFTL) commitWrite(chip int, ppa PPA, job writeJob) {
+	blk := f.arr.BlockOf(ppa)
+	if job.lpn >= 0 {
+		if old := f.mapping[job.lpn]; old != InvalidPPA {
+			f.invalidate(old)
+		}
+		f.mapping[job.lpn] = ppa
+		f.rmap[ppa] = job.lpn
+	} else {
+		f.rmap[ppa] = rmapNameless
+	}
+	bm := &f.blocks[blk]
+	bm.valid++
+	bm.lastWrite = f.eng.Now()
+	f.inFlight++
+	f.arr.WritePage(ppa, job.data, oobFor(job.lpn), func(ok bool) {
+		f.inFlight--
+		if !ok {
+			f.handleProgramFailure(chip, ppa, job)
+			return
+		}
+		f.maybeStartGC(chip)
+		job.done(ppa, nil)
+		f.wakeFlushWaiters()
+	})
+}
+
+// handleProgramFailure retires the block and relocates the write.
+func (f *PageFTL) handleProgramFailure(chip int, ppa PPA, job writeJob) {
+	blk := f.arr.BlockOf(ppa)
+	// Undo the failed page's bookkeeping.
+	if f.rmap[ppa] != rmapDead {
+		f.rmap[ppa] = rmapDead
+		f.blocks[blk].valid--
+	}
+	if job.lpn >= 0 && f.mapping[job.lpn] == ppa {
+		f.mapping[job.lpn] = InvalidPPA
+	}
+	f.retireBlock(chip, blk)
+	// Rewrite elsewhere.
+	f.writeOnChip(f.pickChipExcept(chip, job.lpn), job)
+}
+
+func (f *PageFTL) pickChipExcept(except int, lpn int64) int {
+	n := f.arr.Chips()
+	if n == 1 {
+		return 0
+	}
+	c, _ := f.pickChip(lpn)
+	if c == except {
+		c = (c + 1) % n
+	}
+	return c
+}
+
+// retireBlock marks a block bad after a program failure, moving any
+// remaining valid pages out (the error management of Myth 1: the device
+// must be able to redirect live data away from failing media).
+func (f *PageFTL) retireBlock(chip int, blk PBA) {
+	bm := &f.blocks[blk]
+	if bm.state == blockBad {
+		return
+	}
+	cs := &f.chips[chip]
+	if cs.open == blk {
+		cs.open = InvalidPBA
+	}
+	if cs.gcOpen == blk {
+		cs.gcOpen = InvalidPBA
+	}
+	bm.state = blockBad
+	_, baddr, err := f.arr.SplitPBA(blk)
+	if err == nil {
+		f.arr.Chip(chip).MarkBad(baddr)
+	}
+	// Relocate surviving valid pages.
+	if bm.valid > 0 {
+		f.evacuateBlock(chip, blk, 0, func() {})
+	}
+}
+
+// allocPage hands out the next physical page on a chip frontier.
+// forGC selects the GC frontier, which may dig into the reserve.
+func (f *PageFTL) allocPage(chip int, forGC bool) (PPA, bool) {
+	cs := &f.chips[chip]
+	openPtr := &cs.open
+	if forGC {
+		openPtr = &cs.gcOpen
+	}
+	for {
+		if *openPtr != InvalidPBA {
+			bm := &f.blocks[*openPtr]
+			if int(bm.writePtr) < f.arr.PagesPerBlock() {
+				pg := int(bm.writePtr)
+				bm.writePtr++
+				ppa := f.arr.PPAOfBlock(*openPtr, pg)
+				if int(bm.writePtr) == f.arr.PagesPerBlock() {
+					bm.state = blockFull
+					*openPtr = InvalidPBA
+				}
+				return ppa, true
+			}
+			bm.state = blockFull
+			*openPtr = InvalidPBA
+		}
+		pba, ok := f.allocBlock(chip, forGC)
+		if !ok {
+			return InvalidPPA, false
+		}
+		*openPtr = pba
+		f.blocks[pba].state = blockOpen
+	}
+}
+
+// allocBlock pops the least-worn free block (dynamic wear leveling).
+// Host allocations must leave GC a full reserve of headroom pages; GC
+// allocations only need any free block at all.
+func (f *PageFTL) allocBlock(chip int, forGC bool) (PBA, bool) {
+	cs := &f.chips[chip]
+	if len(cs.free) == 0 {
+		return InvalidPBA, false
+	}
+	if !forGC && f.headroomPages(chip) < (f.cfg.GCReserve+1)*f.arr.PagesPerBlock() {
+		return InvalidPBA, false
+	}
+	best := 0
+	for i := 1; i < len(cs.free); i++ {
+		if f.blocks[cs.free[i]].eraseCount < f.blocks[cs.free[best]].eraseCount {
+			best = i
+		}
+	}
+	pba := cs.free[best]
+	cs.free[best] = cs.free[len(cs.free)-1]
+	cs.free = cs.free[:len(cs.free)-1]
+	return pba, true
+}
+
+// drainPending re-admits writes stalled on chip for want of space.
+func (f *PageFTL) drainPending(chip int) {
+	cs := &f.chips[chip]
+	for len(cs.pending) > 0 && f.hostSpace(chip) {
+		job := cs.pending[0]
+		cs.pending = cs.pending[0:copy(cs.pending, cs.pending[1:])]
+		f.writeOnChip(chip, job)
+	}
+}

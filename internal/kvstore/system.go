@@ -1,0 +1,97 @@
+package kvstore
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pcm"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/wal"
+)
+
+// System bundles a Store with the devices underneath it, so experiments
+// can crash the machine (losing volatile state) and reopen the store
+// from the surviving media.
+type System struct {
+	Store *Store
+	Core  *core.Store
+
+	eng      *sim.Engine
+	flash    ssd.Dev
+	membus   *pcm.MemBus // nil for the conservative assembly
+	logSize  int64
+	cpus     int
+	cfg      Config
+	pcmStack bool
+}
+
+// BuildConservative assembles the baseline: one flash device behind the
+// single-queue block layer holding both the WAL (first logPages pages)
+// and the tree pages; metadata uses the double-write discipline; no
+// trims.
+func BuildConservative(p *sim.Proc, eng *sim.Engine, flash ssd.Dev, logPages int64, cpus int, cfg Config) (*System, error) {
+	cs, err := core.NewConservative(eng, flash, logPages, cpus)
+	if err != nil {
+		return nil, err
+	}
+	cfg.MetaMode = MetaDoubleWrite
+	cfg.AtomicDevice = nil
+	st, err := Open(p, eng, wal.New(eng, cs.Log), cs.Pages, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		Store: st, Core: cs, eng: eng, flash: flash,
+		logSize: logPages, cpus: cpus, cfg: cfg,
+	}, nil
+}
+
+// BuildProgressive assembles the paper's stack: WAL on memory-bus PCM,
+// tree pages on flash via the direct path, atomic meta writes, trims
+// for freed pages.
+func BuildProgressive(p *sim.Proc, eng *sim.Engine, flash *ssd.Device, membus *pcm.MemBus, logBytes int64, cpus int, cfg Config) (*System, error) {
+	cs, err := core.NewProgressive(eng, membus, logBytes, flash, cpus)
+	if err != nil {
+		return nil, err
+	}
+	cfg.MetaMode = MetaAtomic
+	cfg.AtomicDevice = flash
+	cfg.TrimFreed = true
+	st, err := Open(p, eng, wal.New(eng, cs.Log), cs.Pages, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		Store: st, Core: cs, eng: eng, flash: flash, membus: membus,
+		logSize: logBytes, cpus: cpus, cfg: cfg, pcmStack: true,
+	}, nil
+}
+
+// Crash models power loss and restart: volatile device state is
+// dropped, all host memory is forgotten, and a fresh System is opened
+// from the surviving media, running recovery. The old System must not
+// be used afterwards. It returns the LPNs the device lost from a
+// volatile write cache (nil for safe buffers).
+func (sys *System) Crash(p *sim.Proc) (*System, []int64, error) {
+	sys.Store.closed = true
+	var lost []int64
+	if d, ok := sys.flash.(*ssd.Device); ok {
+		lost = d.Crash()
+	}
+	var fresh *System
+	var err error
+	if sys.pcmStack {
+		d, ok := sys.flash.(*ssd.Device)
+		if !ok {
+			return nil, nil, fmt.Errorf("kvstore: progressive system without extended device")
+		}
+		fresh, err = BuildProgressive(p, sys.eng, d, sys.membus, sys.logSize, sys.cpus, sys.cfg)
+	} else {
+		fresh, err = BuildConservative(p, sys.eng, sys.flash, sys.logSize, sys.cpus, sys.cfg)
+	}
+	if err != nil {
+		return nil, lost, err
+	}
+	return fresh, lost, nil
+}

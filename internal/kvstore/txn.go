@@ -1,0 +1,359 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/wal"
+)
+
+// Txn is a transaction: a private write set published at commit.
+type Txn struct {
+	s      *Store
+	id     uint64
+	writes map[string]memVal
+	order  []string
+	logged bool
+}
+
+// Begin starts a transaction.
+func (s *Store) Begin() *Txn {
+	s.nextTxn++
+	return &Txn{s: s, id: s.nextTxn, writes: make(map[string]memVal)}
+}
+
+// ID returns the transaction identifier.
+func (tx *Txn) ID() uint64 { return tx.id }
+
+// Put stages a key/value update.
+func (tx *Txn) Put(key, value []byte) {
+	k := string(key)
+	if _, ok := tx.writes[k]; !ok {
+		tx.order = append(tx.order, k)
+	}
+	tx.writes[k] = memVal{value: append([]byte(nil), value...)}
+}
+
+// Delete stages a key removal.
+func (tx *Txn) Delete(key []byte) {
+	k := string(key)
+	if _, ok := tx.writes[k]; !ok {
+		tx.order = append(tx.order, k)
+	}
+	tx.writes[k] = memVal{tombstone: true}
+}
+
+// Get reads through the transaction: own writes, then the store.
+func (tx *Txn) Get(p *sim.Proc, key []byte) ([]byte, error) {
+	if v, ok := tx.writes[string(key)]; ok {
+		if v.tombstone {
+			return nil, ErrNotFound
+		}
+		return v.value, nil
+	}
+	return tx.s.Get(p, key)
+}
+
+// Commit logs the write set, waits for durability (group commit), and
+// publishes the updates. It may run a checkpoint inline when the
+// memtable is full — the write stall real engines exhibit.
+func (tx *Txn) Commit(p *sim.Proc) error {
+	s := tx.s
+	if s.closed {
+		return ErrClosed
+	}
+	if len(tx.order) == 0 {
+		return nil
+	}
+	if tx.logged {
+		return fmt.Errorf("kvstore: transaction %d already committed", tx.id)
+	}
+	tx.logged = true
+	appendAll := func() error {
+		for i, k := range tx.order {
+			v := tx.writes[k]
+			kind := wal.KindPut
+			var value []byte
+			if v.tombstone {
+				kind = wal.KindDelete
+			} else {
+				value = v.value
+			}
+			lsn, err := s.log.Append(p, wal.Record{Kind: kind, Txn: tx.id, Key: []byte(k), Value: value})
+			if err != nil {
+				return err
+			}
+			if i == 0 {
+				s.active[tx.id] = lsn
+			}
+		}
+		return nil
+	}
+	if err := appendAll(); err != nil {
+		if !errors.Is(err, core.ErrLogFull) {
+			return fmt.Errorf("kvstore: log append: %w", err)
+		}
+		// The log is full: abandon our partial records (they have no
+		// commit record, so they are dead weight), checkpoint to
+		// truncate, then re-append from scratch.
+		delete(s.active, tx.id)
+		if cerr := s.checkpoint(p); cerr != nil {
+			return fmt.Errorf("kvstore: forced checkpoint: %w", cerr)
+		}
+		if err := appendAll(); err != nil {
+			return fmt.Errorf("kvstore: log append after checkpoint: %w", err)
+		}
+	}
+	if err := s.log.Commit(p, tx.id); err != nil {
+		delete(s.active, tx.id)
+		return fmt.Errorf("kvstore: log commit: %w", err)
+	}
+	delete(s.active, tx.id)
+	// Publish to the memtable.
+	for k, v := range tx.writes {
+		s.mem[k] = v
+		s.memBytes += len(k) + len(v.value) + 16
+	}
+	s.Commits++
+	if s.memBytes >= s.cfg.CheckpointBytes && !s.checkpointing {
+		if err := s.checkpoint(p); err != nil {
+			return fmt.Errorf("kvstore: checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// Get reads a key from the store (memtable, frozen snapshot, then tree).
+func (s *Store) Get(p *sim.Proc, key []byte) ([]byte, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	k := string(key)
+	if v, ok := s.mem[k]; ok {
+		if v.tombstone {
+			return nil, ErrNotFound
+		}
+		return v.value, nil
+	}
+	if s.frozen != nil {
+		if v, ok := s.frozen[k]; ok {
+			if v.tombstone {
+				return nil, ErrNotFound
+			}
+			return v.value, nil
+		}
+	}
+	got, err := s.tree.Get(p, key)
+	if err == btree.ErrNotFound {
+		return nil, ErrNotFound
+	}
+	return got, err
+}
+
+// Scan visits all live keys in order (merging memtable layers with the
+// tree) — used by verification and examples.
+func (s *Store) Scan(p *sim.Proc, fn func(key, value []byte) bool) error {
+	merged := map[string][]byte{}
+	if err := s.tree.Scan(p, func(k, v []byte) bool {
+		merged[string(k)] = append([]byte(nil), v...)
+		return true
+	}); err != nil {
+		return err
+	}
+	for _, layer := range []map[string]memVal{s.frozen, s.mem} {
+		for k, v := range layer {
+			if v.tombstone {
+				delete(merged, k)
+			} else {
+				merged[k] = v.value
+			}
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !fn([]byte(k), merged[k]) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// checkpoint drains the memtable into a new tree version and publishes
+// it: apply batch (COW), flush data, flip meta, truncate WAL, trim and
+// recycle old pages.
+func (s *Store) checkpoint(p *sim.Proc) error {
+	for s.checkpointing {
+		// Another process is checkpointing; wait for it instead of
+		// stacking snapshots.
+		c := sim.NewCond(s.eng)
+		s.cpWaiters = append(s.cpWaiters, c)
+		c.Await(p)
+		if s.memBytes < s.cfg.CheckpointBytes {
+			return nil
+		}
+	}
+	if len(s.mem) == 0 && s.log.LogDevice().Tail() == s.replayLSN {
+		return nil // nothing to persist, nothing to truncate
+	}
+	s.checkpointing = true
+	defer func() {
+		s.checkpointing = false
+		ws := s.cpWaiters
+		s.cpWaiters = nil
+		for _, c := range ws {
+			c.Fire()
+		}
+	}()
+
+	// Snapshot: later commits go to a fresh memtable. The replay horizon
+	// must cover any transaction still writing its records.
+	s.frozen = s.mem
+	s.mem = make(map[string]memVal)
+	s.memBytes = 0
+	horizon := s.log.LogDevice().Tail()
+	for _, first := range s.active {
+		if first < horizon {
+			horizon = first
+		}
+	}
+
+	batch := make([]btree.Entry, 0, len(s.frozen))
+	for k, v := range s.frozen {
+		batch = append(batch, btree.Entry{Key: []byte(k), Value: v.value, Tombstone: v.tombstone})
+	}
+	sort.Slice(batch, func(i, j int) bool { return string(batch[i].Key) < string(batch[j].Key) })
+
+	newTree, err := s.tree.ApplyBatch(p, batch)
+	if err != nil {
+		return err
+	}
+	// Data pages must be durable before the meta flip points at them.
+	if err := s.pages.Flush(p); err != nil {
+		return err
+	}
+	s.tree = newTree
+	s.replayLSN = horizon
+	if err := s.writeMeta(p); err != nil {
+		return err
+	}
+	// Old tree version is dead: reclaim.
+	freed := s.pendingFree
+	s.pendingFree = nil
+	for _, id := range freed {
+		s.cache.Invalidate(id)
+		if s.cfg.TrimFreed {
+			_ = s.pages.Trim(id)
+		}
+	}
+	s.freePages = append(s.freePages, freed...)
+	s.frozen = nil
+	if err := s.log.LogDevice().Truncate(horizon); err != nil {
+		return err
+	}
+	s.Checkpoints++
+	return nil
+}
+
+// Checkpoint forces a checkpoint (tests, shutdown, benchmarks).
+func (s *Store) Checkpoint(p *sim.Proc) error {
+	if s.closed {
+		return ErrClosed
+	}
+	return s.checkpoint(p)
+}
+
+// recover loads the last checkpoint and replays the WAL after it.
+func (s *Store) recover(p *sim.Proc) error {
+	s.tree = btree.New(s.pager(), btree.NilPage, 0)
+	s.nextPage = metaPages
+	found, err := s.readMeta(p)
+	if err != nil {
+		return err
+	}
+	head := int64(0)
+	if found {
+		head = s.replayLSN
+		s.Recoveries++
+	}
+	// Replay: collect per-transaction ops, apply in commit order.
+	type op struct {
+		key   string
+		v     memVal
+		order int
+	}
+	pending := map[uint64][]op{}
+	seq := 0
+	var committed []uint64
+	err = s.log.Recover(p, head, func(_ int64, r wal.Record) error {
+		switch r.Kind {
+		case wal.KindPut:
+			pending[r.Txn] = append(pending[r.Txn], op{key: string(r.Key), v: memVal{value: r.Value}, order: seq})
+		case wal.KindDelete:
+			pending[r.Txn] = append(pending[r.Txn], op{key: string(r.Key), v: memVal{tombstone: true}, order: seq})
+		case wal.KindCommit:
+			committed = append(committed, r.Txn)
+		}
+		seq++
+		if r.Txn >= s.nextTxn {
+			s.nextTxn = r.Txn
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, txn := range committed {
+		for _, o := range pending[txn] {
+			s.mem[o.key] = o.v
+			s.memBytes += len(o.key) + len(o.v.value) + 16
+		}
+	}
+	// Rebuild the free list: every allocated page not reachable from the
+	// tree (and not a meta slot) is free.
+	if found && s.tree.Root() != btree.NilPage {
+		live := map[int64]bool{}
+		if err := s.collectLive(p, s.tree.Root(), live); err != nil {
+			return err
+		}
+		for id := int64(metaPages); id < s.nextPage; id++ {
+			if !live[id] {
+				s.freePages = append(s.freePages, id)
+			}
+		}
+	} else if found {
+		for id := int64(metaPages); id < s.nextPage; id++ {
+			s.freePages = append(s.freePages, id)
+		}
+	}
+	return nil
+}
+
+// collectLive walks the tree marking reachable pages.
+func (s *Store) collectLive(p *sim.Proc, pageID int64, live map[int64]bool) error {
+	live[pageID] = true
+	data, err := s.cache.Get(p, pageID)
+	if err != nil {
+		return err
+	}
+	if data[0] != 2 { // internal page tag (see btree layout)
+		return nil
+	}
+	children, err := btree.InternalChildren(data)
+	if err != nil {
+		return err
+	}
+	for _, c := range children {
+		if err := s.collectLive(p, c, live); err != nil {
+			return err
+		}
+	}
+	return nil
+}

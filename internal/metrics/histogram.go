@@ -1,0 +1,206 @@
+// Package metrics provides the measurement toolkit for experiments:
+// log-scale latency histograms with percentile queries, throughput
+// counters, aligned text tables, and ASCII Gantt charts for rendering
+// resource-occupancy figures.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// subBuckets controls histogram resolution: each power-of-two range is
+// split into this many linear sub-buckets, bounding relative error to
+// about 1/subBuckets.
+const subBuckets = 32
+
+// Histogram records int64 samples (typically latencies in nanoseconds)
+// in logarithmic buckets. The zero value is ready to use.
+type Histogram struct {
+	counts map[int]int64
+	n      int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+const log2SubBuckets = 5 // log2(subBuckets)
+
+// bucketOf maps a value to its bucket index. Values below subBuckets map
+// to themselves; a value with highest set bit exp lands in bucket
+// (exp-log2SubBuckets+2)*subBuckets + linear-offset-within-its-octave.
+func bucketOf(v int64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	exp := 63 - bits.LeadingZeros64(uint64(v))
+	offset := int((v >> uint(exp-log2SubBuckets)) - subBuckets)
+	return (exp-log2SubBuckets+2)*subBuckets + offset
+}
+
+// bucketLow returns the smallest value mapping to bucket b, the inverse
+// of bucketOf up to bucket granularity.
+func bucketLow(b int) int64 {
+	if b < 2*subBuckets {
+		return int64(b)
+	}
+	exp := b/subBuckets + log2SubBuckets - 2
+	within := b % subBuckets
+	return (int64(subBuckets) + int64(within)) << uint(exp-log2SubBuckets)
+}
+
+// Record adds one sample. Negative samples are clamped to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.counts == nil {
+		h.counts = make(map[int]int64)
+		h.min = math.MaxInt64
+	}
+	h.counts[bucketOf(v)]++
+	h.n++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count reports the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Sum reports the sum of all samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean reports the arithmetic mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Min reports the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() int64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the largest sample, or 0 with no samples.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Quantile reports an approximation of the q-quantile (q in [0,1]),
+// accurate to bucket resolution (~3%). Quantile(0.5) is the median.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(h.n)))
+	if target < 1 {
+		target = 1
+	}
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var cum int64
+	for _, k := range keys {
+		cum += h.counts[k]
+		if cum >= target {
+			lo := bucketLow(k)
+			if lo < h.min {
+				lo = h.min
+			}
+			if lo > h.max {
+				lo = h.max
+			}
+			return lo
+		}
+	}
+	return h.max
+}
+
+// P50, P95, P99 are convenience quantile accessors.
+func (h *Histogram) P50() int64 { return h.Quantile(0.50) }
+
+// P95 reports the 95th percentile.
+func (h *Histogram) P95() int64 { return h.Quantile(0.95) }
+
+// P99 reports the 99th percentile.
+func (h *Histogram) P99() int64 { return h.Quantile(0.99) }
+
+// Merge adds all samples of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make(map[int]int64)
+		h.min = math.MaxInt64
+	}
+	for k, c := range other.counts {
+		h.counts[k] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.counts = nil
+	h.n, h.sum, h.min, h.max = 0, 0, 0, 0
+}
+
+// Summary formats count/mean/p50/p99/max in microseconds.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%.1fµs p50=%.1fµs p99=%.1fµs max=%.1fµs",
+		h.n, h.Mean()/1e3, float64(h.P50())/1e3, float64(h.P99())/1e3, float64(h.max)/1e3)
+}
+
+// Bar renders a crude ASCII distribution sketch of the histogram over
+// its occupied buckets, for debugging and example programs.
+func (h *Histogram) Bar(width int) string {
+	if h.n == 0 || width <= 0 {
+		return "(empty)"
+	}
+	keys := make([]int, 0, len(h.counts))
+	var maxC int64
+	for k, c := range h.counts {
+		keys = append(keys, k)
+		if c > maxC {
+			maxC = c
+		}
+	}
+	sort.Ints(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		c := h.counts[k]
+		bar := int(float64(width) * float64(c) / float64(maxC))
+		if bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "%10.1fµs |%s %d\n", float64(bucketLow(k))/1e3, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns, in the
+// style of the result tables the benchmark harness prints.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows reports the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Cell returns the formatted cell at (row, col), or "" if out of range.
+func (t *Table) Cell(row, col int) string {
+	if row < 0 || row >= len(t.rows) || col < 0 || col >= len(t.rows[row]) {
+		return ""
+	}
+	return t.rows[row][col]
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Counter tracks a monotonically increasing count with a byte total,
+// e.g. completed I/Os and bytes moved.
+type Counter struct {
+	Ops   int64
+	Bytes int64
+}
+
+// Add records one operation of n bytes.
+func (c *Counter) Add(n int) {
+	c.Ops++
+	c.Bytes += int64(n)
+}
+
+// MBps reports throughput in megabytes (1e6) per second over a window of
+// elapsed nanoseconds.
+func (c *Counter) MBps(elapsedNs int64) float64 {
+	if elapsedNs <= 0 {
+		return 0
+	}
+	return float64(c.Bytes) / 1e6 / (float64(elapsedNs) / 1e9)
+}
+
+// IOPS reports operations per second over a window of elapsed
+// nanoseconds.
+func (c *Counter) IOPS(elapsedNs int64) float64 {
+	if elapsedNs <= 0 {
+		return 0
+	}
+	return float64(c.Ops) / (float64(elapsedNs) / 1e9)
+}

@@ -1,0 +1,395 @@
+package nand
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Sentinel errors for constraint violations and device failures.
+var (
+	// ErrBadAddress reports an address outside the chip geometry.
+	ErrBadAddress = errors.New("nand: address out of range")
+	// ErrPageProgrammed reports a program to an already-programmed page
+	// (constraint C2: erase before rewrite).
+	ErrPageProgrammed = errors.New("nand: page already programmed (erase block first)")
+	// ErrOutOfOrder reports a program that skips ahead or behind the
+	// block's sequential-write cursor (constraint C3).
+	ErrOutOfOrder = errors.New("nand: program out of order within block")
+	// ErrBadBlock reports an operation on a block marked bad.
+	ErrBadBlock = errors.New("nand: block is marked bad")
+	// ErrPageSize reports a payload that does not match the page size.
+	ErrPageSize = errors.New("nand: payload does not match page size")
+	// ErrOOBSize reports OOB metadata larger than the spare area.
+	ErrOOBSize = errors.New("nand: OOB metadata exceeds spare area")
+	// ErrNotProgrammed reports a read of an erased (never written) page.
+	// Real chips return all-ones; we surface it so FTL bugs fail loudly.
+	ErrNotProgrammed = errors.New("nand: page not programmed")
+)
+
+// PageState tracks the lifecycle of one physical page.
+type PageState uint8
+
+// Page lifecycle states.
+const (
+	PageErased PageState = iota
+	PageProgrammed
+)
+
+type page struct {
+	state PageState
+	data  []byte // nil when the write carried no payload
+	oob   []byte
+}
+
+type block struct {
+	pages      []page
+	nextPage   int // C3 cursor: next programmable page index
+	eraseCount int
+	bad        bool
+}
+
+// lun is the unit of operation interleaving: ops on distinct LUNs
+// overlap, ops on one LUN serialize (via the server).
+type lun struct {
+	srv    *sim.Server
+	planes [][]*block // [plane][block]
+}
+
+// Stats counts chip-level operations, for verifying where traffic went.
+type Stats struct {
+	Reads    int64
+	Programs int64
+	Erases   int64
+	// ProgramFails and EraseFails count wear-induced status failures.
+	ProgramFails int64
+	EraseFails   int64
+}
+
+// Chip is one simulated NAND flash device.
+type Chip struct {
+	eng  *sim.Engine
+	rng  *sim.RNG
+	spec Spec
+	luns []*lun
+
+	stats Stats
+}
+
+// NewChip builds a chip from spec on eng. The rng drives factory bad
+// blocks, wear-out failures and bit-error sampling; pass a chip-specific
+// seed for reproducibility.
+func NewChip(eng *sim.Engine, spec Spec, rng *sim.RNG, name string) (*Chip, error) {
+	if err := spec.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Chip{eng: eng, rng: rng, spec: spec}
+	g := spec.Geometry
+	for l := 0; l < g.LUNsPerChip; l++ {
+		lu := &lun{srv: sim.NewServer(eng, fmt.Sprintf("%s/lun%d", name, l))}
+		for p := 0; p < g.PlanesPerLUN; p++ {
+			blocks := make([]*block, g.BlocksPerPlane)
+			for b := range blocks {
+				blk := &block{pages: make([]page, g.PagesPerBlock)}
+				if rng != nil && rng.Bool(spec.Reliability.FactoryBadBlockRate) {
+					blk.bad = true
+				}
+				blocks[b] = blk
+			}
+			lu.planes = append(lu.planes, blocks)
+		}
+		c.luns = append(c.luns, lu)
+	}
+	return c, nil
+}
+
+// Spec returns the chip's parameterization.
+func (c *Chip) Spec() Spec { return c.spec }
+
+// Geometry returns the chip's layout.
+func (c *Chip) Geometry() Geometry { return c.spec.Geometry }
+
+// Stats returns a snapshot of operation counters.
+func (c *Chip) Stats() Stats { return c.stats }
+
+// LUNServer exposes the timing server of a LUN so the SSD assembly can
+// trace occupancy (Figure 1) and compute utilization.
+func (c *Chip) LUNServer(l int) *sim.Server { return c.luns[l].srv }
+
+// checkAddr validates a page address.
+func (c *Chip) checkAddr(a Addr) error {
+	g := c.spec.Geometry
+	if a.LUN < 0 || a.LUN >= g.LUNsPerChip ||
+		a.Plane < 0 || a.Plane >= g.PlanesPerLUN ||
+		a.Block < 0 || a.Block >= g.BlocksPerPlane ||
+		a.Page < 0 || a.Page >= g.PagesPerBlock {
+		return fmt.Errorf("%w: %v", ErrBadAddress, a)
+	}
+	return nil
+}
+
+func (c *Chip) blockAt(b BlockAddr) *block {
+	return c.luns[b.LUN].planes[b.Plane][b.Block]
+}
+
+// ReadResult carries a completed page read.
+type ReadResult struct {
+	Data []byte // nil if the program carried no payload
+	OOB  []byte
+	// BitErrors is the number of raw bit errors the read suffered; the
+	// ECC layer decides whether they are correctable.
+	BitErrors int
+}
+
+// Read starts a page read (C1: page granularity). The LUN is busy for
+// tR; done receives the result when the data is ready in the page
+// register. Transfer off-chip is charged separately by the channel.
+// A synchronous error means the operation was rejected and not started.
+// Reads of bad blocks are permitted: controllers salvage live pages out
+// of failing blocks before retiring them.
+func (c *Chip) Read(a Addr, done func(ReadResult, error)) error {
+	if err := c.checkAddr(a); err != nil {
+		return err
+	}
+	blk := c.blockAt(a.BlockAddr())
+	pg := &blk.pages[a.Page]
+	c.stats.Reads++
+	wear := blk.eraseCount
+	c.luns[a.LUN].srv.Use(c.spec.Timing.ReadPage, "read", func(_, _ sim.Time) {
+		if pg.state != PageProgrammed {
+			done(ReadResult{}, fmt.Errorf("%w: %v", ErrNotProgrammed, a))
+			return
+		}
+		res := ReadResult{BitErrors: c.sampleBitErrors(wear)}
+		if pg.data != nil {
+			res.Data = append([]byte(nil), pg.data...)
+		}
+		if pg.oob != nil {
+			res.OOB = append([]byte(nil), pg.oob...)
+		}
+		done(res, nil)
+	})
+	return nil
+}
+
+// Program starts a page program. data may be nil for metadata-only
+// simulation (capacity experiments that do not need payloads); otherwise
+// it must be exactly one page. oob is optional spare-area metadata.
+// done receives ok=false on a wear-induced program status failure, in
+// which case the FTL must treat the block as bad (C4 management).
+func (c *Chip) Program(a Addr, data, oob []byte, done func(ok bool)) error {
+	return c.ProgramFrom(c.eng.Now(), a, data, oob, done)
+}
+
+// ProgramFrom is Program with the LUN occupancy starting no earlier than
+// ready — used by controllers that reserve the channel for the data
+// transfer first and want the array operation chained behind it, with
+// constraint validation still happening up front at submission.
+func (c *Chip) ProgramFrom(ready sim.Time, a Addr, data, oob []byte, done func(ok bool)) error {
+	if err := c.checkAddr(a); err != nil {
+		return err
+	}
+	g := c.spec.Geometry
+	if data != nil && len(data) != g.PageSize {
+		return fmt.Errorf("%w: got %d, want %d", ErrPageSize, len(data), g.PageSize)
+	}
+	if len(oob) > g.OOBSize {
+		return fmt.Errorf("%w: got %d, max %d", ErrOOBSize, len(oob), g.OOBSize)
+	}
+	blk := c.blockAt(a.BlockAddr())
+	if blk.bad {
+		return fmt.Errorf("%w: %v", ErrBadBlock, a.BlockAddr())
+	}
+	pg := &blk.pages[a.Page]
+	if pg.state == PageProgrammed {
+		return fmt.Errorf("%w: %v", ErrPageProgrammed, a)
+	}
+	if a.Page != blk.nextPage && !c.spec.SupportsRandomProgram {
+		return fmt.Errorf("%w: %v, expected page %d", ErrOutOfOrder, a, blk.nextPage)
+	}
+	// Commit state at submission: the page register is loaded and the
+	// sequential cursor advances. Failure is reported at completion.
+	if a.Page >= blk.nextPage {
+		blk.nextPage = a.Page + 1
+	}
+	pg.state = PageProgrammed
+	if data != nil {
+		pg.data = append(pg.data[:0], data...)
+	}
+	if oob != nil {
+		pg.oob = append([]byte(nil), oob...)
+	}
+	c.stats.Programs++
+	fail := c.wearFailure(blk.eraseCount)
+	c.luns[a.LUN].srv.UseFrom(ready, c.spec.Timing.ProgramPage, "prog", func(_, _ sim.Time) {
+		if fail {
+			c.stats.ProgramFails++
+			done(false)
+			return
+		}
+		done(true)
+	})
+	return nil
+}
+
+// Erase starts a block erase (C2). done receives ok=false on wear-out
+// failure; the block is then marked bad (grown bad block).
+func (c *Chip) Erase(b BlockAddr, done func(ok bool)) error {
+	return c.EraseFrom(c.eng.Now(), b, done)
+}
+
+// EraseFrom is Erase with the LUN occupancy starting no earlier than
+// ready (chained behind the channel command cycle).
+func (c *Chip) EraseFrom(ready sim.Time, b BlockAddr, done func(ok bool)) error {
+	if err := c.checkAddr(Addr{LUN: b.LUN, Plane: b.Plane, Block: b.Block}); err != nil {
+		return err
+	}
+	blk := c.blockAt(b)
+	if blk.bad {
+		return fmt.Errorf("%w: %v", ErrBadBlock, b)
+	}
+	blk.eraseCount++
+	fail := c.wearFailure(blk.eraseCount)
+	c.stats.Erases++
+	c.luns[b.LUN].srv.UseFrom(ready, c.spec.Timing.EraseBlock, "erase", func(_, _ sim.Time) {
+		if fail {
+			c.stats.EraseFails++
+			blk.bad = true
+			done(false)
+			return
+		}
+		for i := range blk.pages {
+			blk.pages[i] = page{}
+		}
+		blk.nextPage = 0
+		done(true)
+	})
+	return nil
+}
+
+// CopyBack starts an on-chip copy (read into register, program to a new
+// page in the same plane) without occupying the channel — the classic GC
+// optimization. Destination constraints are the same as Program.
+func (c *Chip) CopyBack(src, dst Addr, done func(ok bool)) error {
+	if err := c.checkAddr(src); err != nil {
+		return err
+	}
+	if err := c.checkAddr(dst); err != nil {
+		return err
+	}
+	if src.LUN != dst.LUN || src.Plane != dst.Plane {
+		return fmt.Errorf("nand: copyback must stay within one plane (src %v, dst %v)", src, dst)
+	}
+	sblk := c.blockAt(src.BlockAddr())
+	dblk := c.blockAt(dst.BlockAddr())
+	if dblk.bad {
+		return fmt.Errorf("%w: copyback dest %v", ErrBadBlock, dst)
+	}
+	spg := &sblk.pages[src.Page]
+	if spg.state != PageProgrammed {
+		return fmt.Errorf("%w: copyback source %v", ErrNotProgrammed, src)
+	}
+	dpg := &dblk.pages[dst.Page]
+	if dpg.state == PageProgrammed {
+		return fmt.Errorf("%w: copyback dest %v", ErrPageProgrammed, dst)
+	}
+	if dst.Page != dblk.nextPage && !c.spec.SupportsRandomProgram {
+		return fmt.Errorf("%w: copyback dest %v, expected page %d", ErrOutOfOrder, dst, dblk.nextPage)
+	}
+	if dst.Page >= dblk.nextPage {
+		dblk.nextPage = dst.Page + 1
+	}
+	dpg.state = PageProgrammed
+	dpg.data = append([]byte(nil), spg.data...)
+	dpg.oob = append([]byte(nil), spg.oob...)
+	c.stats.Reads++
+	c.stats.Programs++
+	fail := c.wearFailure(dblk.eraseCount)
+	dur := c.spec.Timing.ReadPage + c.spec.Timing.ProgramPage
+	c.luns[src.LUN].srv.Use(dur, "copyback", func(_, _ sim.Time) {
+		if fail {
+			c.stats.ProgramFails++
+			done(false)
+			return
+		}
+		done(true)
+	})
+	return nil
+}
+
+// EraseCount reports how many times a block has been erased.
+func (c *Chip) EraseCount(b BlockAddr) int { return c.blockAt(b).eraseCount }
+
+// IsBad reports whether a block is factory- or grown-bad.
+func (c *Chip) IsBad(b BlockAddr) bool { return c.blockAt(b).bad }
+
+// MarkBad flags a block bad (the FTL does this after a program failure).
+func (c *Chip) MarkBad(b BlockAddr) { c.blockAt(b).bad = true }
+
+// PageStateAt reports the lifecycle state of a page (for tests and
+// invariant checks).
+func (c *Chip) PageStateAt(a Addr) PageState {
+	return c.blockAt(a.BlockAddr()).pages[a.Page].state
+}
+
+// wearFailure samples whether an operation fails due to wear (C4).
+// Below rated cycles the probability is negligible; past the rating it
+// climbs steeply.
+func (c *Chip) wearFailure(eraseCount int) bool {
+	if c.rng == nil {
+		return false
+	}
+	r := c.spec.Reliability
+	if r.RatedCycles <= 0 {
+		return false
+	}
+	frac := float64(eraseCount) / float64(r.RatedCycles)
+	if frac <= 1 {
+		return c.rng.Bool(1e-7 * frac)
+	}
+	// Past rating: failure probability ramps from ~0.1% toward certainty.
+	p := 0.001 * math.Pow(frac, 8)
+	if p > 0.9 {
+		p = 0.9
+	}
+	return c.rng.Bool(p)
+}
+
+// sampleBitErrors draws the raw bit error count for a read from a block
+// with the given wear, using a Poisson approximation of the binomial.
+func (c *Chip) sampleBitErrors(eraseCount int) int {
+	if c.rng == nil {
+		return 0
+	}
+	r := c.spec.Reliability
+	ber := r.BaseBER
+	if r.RatedCycles > 0 {
+		frac := float64(eraseCount) / float64(r.RatedCycles)
+		ber *= 1 + r.BERGrowth*frac*frac
+	}
+	lambda := ber * float64(c.spec.Geometry.PageSize*8)
+	return c.poisson(lambda)
+}
+
+// poisson samples a Poisson(lambda) variate (Knuth's method; lambda is
+// small in practice).
+func (c *Chip) poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= c.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1<<20 {
+			return k // defensive: lambda absurdly large
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback. Events at equal times fire in the order
+// they were scheduled (seq breaks ties), which keeps runs deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation loop. The zero value is not
+// usable; construct with NewEngine.
+//
+// The engine is single-threaded by design: exactly one entity (the event
+// loop or one Proc) runs at any instant, so model code needs no locking.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+
+	// handoff stack for the cooperative process protocol; see proc.go.
+	stack []chan struct{}
+
+	// procs counts live processes so Run can detect deadlock (processes
+	// blocked forever with no pending events).
+	procs int
+
+	stepping bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule arranges for fn to run at virtual time at. Scheduling in the
+// past panics: it would silently corrupt causality.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After arranges for fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.Schedule(e.now+d, fn)
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Step runs the single earliest event, advancing the clock to its time.
+// It reports false if no events remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	e.stepping = true
+	ev.fn()
+	e.stepping = false
+	return true
+}
+
+// Run executes events until none remain. If live processes remain
+// blocked when the event queue drains, Run panics: the model has
+// deadlocked (a Cond was never fired).
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+	if e.procs > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked with no pending events", e.procs))
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to
+// t. Events after t remain queued.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}

@@ -1,0 +1,165 @@
+package sim
+
+// This file implements a cooperative process model on top of the event
+// loop, so higher layers (the storage engine, workload clients) can be
+// written in ordinary blocking style while still executing in virtual
+// time.
+//
+// Protocol: exactly one entity runs at a time — either the event loop or
+// one process. Control transfers are strict handoffs through unbuffered
+// channels. When entity A wakes process P, A pushes a return channel on
+// the engine's handoff stack, resumes P, and blocks on the return
+// channel; when P suspends (or exits), it pops the stack and signals the
+// channel, returning control to A. The stack supports nested wakeups
+// (a process firing another process's condition).
+
+// Proc is a simulated process (a goroutine scheduled in virtual time).
+type Proc struct {
+	eng    *Engine
+	resume chan struct{}
+	done   bool
+}
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.eng.Now() }
+
+// Go starts fn as a simulated process at the current virtual time.
+// fn runs on its own goroutine but under the strict handoff protocol, so
+// model state never needs locking.
+func (e *Engine) Go(fn func(p *Proc)) {
+	e.procs++
+	p := &Proc{eng: e, resume: make(chan struct{})}
+	e.Schedule(e.now, func() {
+		go func() {
+			<-p.resume
+			fn(p)
+			p.done = true
+			p.eng.procs--
+			p.yield()
+		}()
+		e.handoff(p)
+	})
+}
+
+// handoff transfers control to p and blocks until p suspends or exits.
+// It must be called by the currently running entity.
+func (e *Engine) handoff(p *Proc) {
+	ret := make(chan struct{})
+	e.stack = append(e.stack, ret)
+	p.resume <- struct{}{}
+	<-ret
+}
+
+// yield returns control to the most recent waker. Called by the running
+// process when it suspends or exits.
+func (p *Proc) yield() {
+	n := len(p.eng.stack)
+	ret := p.eng.stack[n-1]
+	p.eng.stack[n-1] = nil
+	p.eng.stack = p.eng.stack[:n-1]
+	ret <- struct{}{}
+}
+
+// suspend parks the process until something resumes it via handoff.
+func (p *Proc) suspend() {
+	p.yield()
+	<-p.resume
+}
+
+// Sleep blocks the process for d nanoseconds of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d <= 0 {
+		return
+	}
+	c := NewCond(p.eng)
+	p.eng.After(d, c.Fire)
+	c.Await(p)
+}
+
+// Yield reschedules the process after all events already queued at the
+// current instant, giving them a chance to run.
+func (p *Proc) Yield() {
+	c := NewCond(p.eng)
+	p.eng.After(0, c.Fire)
+	c.Await(p)
+}
+
+// Cond is a one-shot condition processes can await and any entity
+// (an event handler or another process) can fire. Firing before the
+// await completes immediately; firing twice is a no-op. Multiple
+// waiters wake in await order.
+type Cond struct {
+	eng     *Engine
+	fired   bool
+	waiters []*Proc
+}
+
+// NewCond returns an unfired condition bound to eng.
+func NewCond(eng *Engine) *Cond { return &Cond{eng: eng} }
+
+// Fired reports whether the condition has been fired.
+func (c *Cond) Fired() bool { return c.fired }
+
+// Fire marks the condition done and wakes every waiting process, each
+// running until it suspends again.
+func (c *Cond) Fire() {
+	if c.fired {
+		return
+	}
+	c.fired = true
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		c.eng.handoff(w)
+	}
+}
+
+// Await blocks process p until the condition fires.
+func (c *Cond) Await(p *Proc) {
+	if c.fired {
+		return
+	}
+	c.waiters = append(c.waiters, p)
+	p.suspend()
+}
+
+// WaitGroup counts outstanding work items in virtual time. A process can
+// Wait for the count to reach zero.
+type WaitGroup struct {
+	eng   *Engine
+	count int
+	cond  *Cond
+}
+
+// NewWaitGroup returns a wait group bound to eng.
+func NewWaitGroup(eng *Engine) *WaitGroup { return &WaitGroup{eng: eng} }
+
+// Add increments the count by n (n may be negative; Done is Add(-1)).
+func (w *WaitGroup) Add(n int) {
+	w.count += n
+	if w.count < 0 {
+		panic("sim: negative WaitGroup count")
+	}
+	if w.count == 0 && w.cond != nil {
+		c := w.cond
+		w.cond = nil
+		c.Fire()
+	}
+}
+
+// Done decrements the count by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait blocks p until the count reaches zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	if w.count == 0 {
+		return
+	}
+	if w.cond == nil {
+		w.cond = NewCond(w.eng)
+	}
+	w.cond.Await(p)
+}

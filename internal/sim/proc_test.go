@@ -1,0 +1,204 @@
+package sim
+
+import "testing"
+
+func TestProcSleep(t *testing.T) {
+	e := NewEngine()
+	var woke Time = -1
+	e.Go(func(p *Proc) {
+		p.Sleep(100)
+		woke = p.Now()
+	})
+	e.Run()
+	if woke != 100 {
+		t.Fatalf("proc woke at %v, want 100", woke)
+	}
+}
+
+func TestProcSleepZeroIsNoop(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Go(func(p *Proc) {
+		p.Sleep(0)
+		p.Sleep(-5)
+		ran = true
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("proc did not complete")
+	}
+}
+
+func TestTwoProcsInterleaveDeterministically(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Go(func(p *Proc) {
+		order = append(order, "a0")
+		p.Sleep(10)
+		order = append(order, "a10")
+		p.Sleep(20)
+		order = append(order, "a30")
+	})
+	e.Go(func(p *Proc) {
+		order = append(order, "b0")
+		p.Sleep(15)
+		order = append(order, "b15")
+	})
+	e.Run()
+	want := []string{"a0", "b0", "a10", "b15", "a30"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestCondFireBeforeAwait(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	c.Fire()
+	done := false
+	e.Go(func(p *Proc) {
+		c.Await(p) // must not block
+		done = true
+	})
+	e.Run()
+	if !done {
+		t.Fatal("Await on fired cond blocked")
+	}
+}
+
+func TestCondFireWakesWaiter(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	var woke Time = -1
+	e.Go(func(p *Proc) {
+		c.Await(p)
+		woke = p.Now()
+	})
+	e.Schedule(42, c.Fire)
+	e.Run()
+	if woke != 42 {
+		t.Fatalf("waiter woke at %v, want 42", woke)
+	}
+}
+
+func TestCondDoubleFireIsNoop(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	c.Fire()
+	c.Fire()
+	if !c.Fired() {
+		t.Fatal("cond not fired")
+	}
+}
+
+func TestProcFiresAnotherProcsCond(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	var events []string
+	e.Go(func(p *Proc) {
+		events = append(events, "waiter:await")
+		c.Await(p)
+		events = append(events, "waiter:woke")
+	})
+	e.Go(func(p *Proc) {
+		p.Sleep(5)
+		events = append(events, "firer:fire")
+		c.Fire()
+		events = append(events, "firer:after")
+	})
+	e.Run()
+	want := []string{"waiter:await", "firer:fire", "waiter:woke", "firer:after"}
+	for i := range want {
+		if i >= len(events) || events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", events, want)
+		}
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := NewEngine()
+	wg := NewWaitGroup(e)
+	var finished Time = -1
+	for i := 1; i <= 3; i++ {
+		i := i
+		wg.Add(1)
+		e.Go(func(p *Proc) {
+			p.Sleep(Time(i * 10))
+			wg.Done()
+		})
+	}
+	e.Go(func(p *Proc) {
+		wg.Wait(p)
+		finished = p.Now()
+	})
+	e.Run()
+	if finished != 30 {
+		t.Fatalf("waiter finished at %v, want 30", finished)
+	}
+}
+
+func TestWaitGroupZeroCountDoesNotBlock(t *testing.T) {
+	e := NewEngine()
+	wg := NewWaitGroup(e)
+	done := false
+	e.Go(func(p *Proc) {
+		wg.Wait(p)
+		done = true
+	})
+	e.Run()
+	if !done {
+		t.Fatal("Wait on zero wait group blocked")
+	}
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	e.Go(func(p *Proc) {
+		c.Await(p) // never fired
+	})
+	defer func() {
+		if recover() == nil {
+			t.Error("Run with a permanently blocked proc did not panic")
+		}
+	}()
+	e.Run()
+}
+
+func TestYieldRunsQueuedEventsFirst(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Go(func(p *Proc) {
+		e.After(0, func() { order = append(order, "event") })
+		p.Yield()
+		order = append(order, "proc")
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != "event" || order[1] != "proc" {
+		t.Fatalf("order = %v, want [event proc]", order)
+	}
+}
+
+func TestManyProcsHeavyInterleaving(t *testing.T) {
+	e := NewEngine()
+	const n = 50
+	total := 0
+	for i := 0; i < n; i++ {
+		i := i
+		e.Go(func(p *Proc) {
+			for j := 0; j < 20; j++ {
+				p.Sleep(Time(1 + (i+j)%7))
+			}
+			total++
+		})
+	}
+	e.Run()
+	if total != n {
+		t.Fatalf("completed %d procs, want %d", total, n)
+	}
+}

@@ -1,0 +1,140 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic random number generator
+// (splitmix64). Every experiment owns its own seeded RNG so results are
+// reproducible and independent of map iteration or scheduling order.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with n <= 0")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Exp returns an exponentially distributed value with the given mean
+// (for inter-arrival times in open-loop workloads).
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Zipf generates values in [0, n) following a Zipf-like distribution
+// with skew theta in (0, 1); higher theta is more skewed. It uses the
+// standard CDF-inversion approximation of Gray et al. so item 0 is the
+// hottest.
+type Zipf struct {
+	rng   *RNG
+	n     int64
+	theta float64
+	zetan float64
+	alpha float64
+	eta   float64
+	zeta2 float64
+}
+
+// NewZipf returns a Zipf generator over [0, n) with skew theta.
+// theta must be in (0, 1); n must be positive.
+func NewZipf(rng *RNG, n int64, theta float64) *Zipf {
+	if n <= 0 {
+		panic("sim: Zipf with n <= 0")
+	}
+	if theta <= 0 || theta >= 1 {
+		panic("sim: Zipf theta must be in (0,1)")
+	}
+	z := &Zipf{rng: rng, n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zeta(n int64, theta float64) float64 {
+	sum := 0.0
+	for i := int64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next returns the next sample in [0, n).
+func (z *Zipf) Next() int64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v < 0 {
+		v = 0
+	}
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds matched %d/100 draws", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	r := NewRNG(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(9)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean of Float64 = %v, want ~0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		r := NewRNG(seed)
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(100)
+	}
+	mean := sum / n
+	if math.Abs(mean-100) > 2 {
+		t.Fatalf("mean of Exp(100) = %v, want ~100", mean)
+	}
+}
+
+func TestZipfRangeAndSkew(t *testing.T) {
+	r := NewRNG(5)
+	z := NewZipf(r, 1000, 0.9)
+	counts := make([]int, 1000)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Item 0 must be by far the hottest, and the head should dominate.
+	if counts[0] < counts[500]*10 {
+		t.Fatalf("skew too weak: counts[0]=%d counts[500]=%d", counts[0], counts[500])
+	}
+	head := 0
+	for i := 0; i < 100; i++ {
+		head += counts[i]
+	}
+	if float64(head)/n < 0.4 {
+		t.Fatalf("head mass = %v, want >= 0.4 for theta=0.9", float64(head)/n)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	r := NewRNG(1)
+	for _, c := range []struct {
+		n     int64
+		theta float64
+	}{{0, 0.5}, {10, 0}, {10, 1}, {10, 1.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d, %v) did not panic", c.n, c.theta)
+				}
+			}()
+			NewZipf(r, c.n, c.theta)
+		}()
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(13)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) hit rate = %v", got)
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := NewRNG(21)
+	vals := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	seen := make([]bool, len(vals))
+	for _, v := range vals {
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("value %d missing after shuffle", i)
+		}
+	}
+}

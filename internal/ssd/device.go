@@ -1,0 +1,292 @@
+// Package ssd assembles flash arrays, FTLs and a host interface into
+// complete storage devices — the black boxes the paper insists we stop
+// treating as black boxes. It provides the era presets the experiments
+// compare (Consumer2008, Enterprise2012, a PCM SSD), per-device latency
+// metrics, and the extended command set of §3 (atomic writes, nameless
+// writes, trim) alongside the classic block command set.
+package ssd
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ftl"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Device-level errors.
+var (
+	// ErrAtomicUnsupported reports atomic writes on a device without a
+	// safe (battery/capacitor-backed) write buffer.
+	ErrAtomicUnsupported = errors.New("ssd: atomic writes need a safe write buffer")
+	// ErrNamelessUnsupported reports nameless writes on an FTL that
+	// cannot hand out physical addresses.
+	ErrNamelessUnsupported = errors.New("ssd: nameless writes unsupported by this FTL")
+)
+
+// Dev is the host-visible contract of every simulated device.
+type Dev interface {
+	Name() string
+	PageSize() int
+	Capacity() int64 // in pages
+	Read(lpn int64, done func([]byte, error))
+	Write(lpn int64, data []byte, done func(error))
+	Trim(lpn int64) error
+	Flush(done func())
+	Metrics() *DeviceMetrics
+}
+
+// DeviceMetrics aggregates host-visible performance counters.
+type DeviceMetrics struct {
+	ReadLat  metrics.Histogram
+	WriteLat metrics.Histogram
+	Reads    metrics.Counter
+	Writes   metrics.Counter
+}
+
+// Reset clears all recorded metrics (between experiment phases).
+func (m *DeviceMetrics) Reset() {
+	m.ReadLat.Reset()
+	m.WriteLat.Reset()
+	m.Reads = metrics.Counter{}
+	m.Writes = metrics.Counter{}
+}
+
+// Interface models the host link (SATA/PCIe): bandwidth plus a fixed
+// controller command overhead.
+type Interface struct {
+	MBPerSec    int
+	CmdOverhead sim.Time
+}
+
+// Era-accurate host interfaces.
+var (
+	SATA2 = Interface{MBPerSec: 300, CmdOverhead: 20 * sim.Microsecond}
+	SATA3 = Interface{MBPerSec: 600, CmdOverhead: 10 * sim.Microsecond}
+	PCIe4 = Interface{MBPerSec: 1600, CmdOverhead: 3 * sim.Microsecond}
+)
+
+// Device is a flash SSD: an FTL behind a host interface.
+type Device struct {
+	eng  *sim.Engine
+	name string
+	f    ftl.FTL
+	arr  *ftl.Array
+
+	link        *sim.Server
+	linkBytesNs int64 // bytes per second
+	cmdOverhead sim.Time
+
+	m DeviceMetrics
+}
+
+var _ Dev = (*Device)(nil)
+
+// NewDevice wraps an FTL as a host-visible device.
+func NewDevice(eng *sim.Engine, name string, f ftl.FTL, arr *ftl.Array, link Interface) (*Device, error) {
+	if link.MBPerSec <= 0 {
+		return nil, fmt.Errorf("ssd: link bandwidth %d must be positive", link.MBPerSec)
+	}
+	return &Device{
+		eng:         eng,
+		name:        name,
+		f:           f,
+		arr:         arr,
+		link:        sim.NewServer(eng, name+"/link"),
+		linkBytesNs: int64(link.MBPerSec) * 1_000_000,
+		cmdOverhead: link.CmdOverhead,
+	}, nil
+}
+
+// Name implements Dev.
+func (d *Device) Name() string { return d.name }
+
+// PageSize implements Dev.
+func (d *Device) PageSize() int { return d.f.PageSize() }
+
+// Capacity implements Dev.
+func (d *Device) Capacity() int64 { return d.f.Capacity() }
+
+// Metrics implements Dev.
+func (d *Device) Metrics() *DeviceMetrics { return &d.m }
+
+// FTL exposes the translation layer (for experiment instrumentation).
+func (d *Device) FTL() ftl.FTL { return d.f }
+
+// Array exposes the flash fabric (for tracing and utilization).
+func (d *Device) Array() *ftl.Array { return d.arr }
+
+// linkTime is the host-link occupancy of an n-byte transfer.
+func (d *Device) linkTime(n int) sim.Time {
+	if n <= 0 {
+		return 0
+	}
+	return sim.Time(int64(n) * int64(sim.Second) / d.linkBytesNs)
+}
+
+// Read implements Dev: command overhead, FTL read, then the data crosses
+// the host link.
+func (d *Device) Read(lpn int64, done func([]byte, error)) {
+	start := d.eng.Now()
+	d.link.Use(d.cmdOverhead, "cmd", func(_, _ sim.Time) {
+		d.f.ReadLPN(lpn, func(data []byte, err error) {
+			if err != nil {
+				done(nil, err)
+				return
+			}
+			d.link.Use(d.linkTime(d.PageSize()), "read-xfer", func(_, end sim.Time) {
+				d.m.ReadLat.Record(int64(end - start))
+				d.m.Reads.Add(d.PageSize())
+				done(data, nil)
+			})
+		})
+	})
+}
+
+// Write implements Dev: the data crosses the host link, then the FTL
+// stores it (which, with a write-back buffer, acks quickly).
+func (d *Device) Write(lpn int64, data []byte, done func(error)) {
+	start := d.eng.Now()
+	d.link.Use(d.cmdOverhead+d.linkTime(d.PageSize()), "write-xfer", func(_, _ sim.Time) {
+		d.f.WriteLPN(lpn, data, func(err error) {
+			if err != nil {
+				done(err)
+				return
+			}
+			d.m.WriteLat.Record(int64(d.eng.Now() - start))
+			d.m.Writes.Add(d.PageSize())
+			done(nil)
+		})
+	})
+}
+
+// Trim implements Dev (the ATA TRIM command the paper highlights as the
+// first crack in the block interface).
+func (d *Device) Trim(lpn int64) error { return d.f.Trim(lpn) }
+
+// Flush implements Dev.
+func (d *Device) Flush(done func()) {
+	d.link.Use(d.cmdOverhead, "flush-cmd", func(_, _ sim.Time) {
+		d.f.Flush(done)
+	})
+}
+
+// pageFTL returns the underlying PageFTL if this device has one.
+func (d *Device) pageFTL() *ftl.PageFTL {
+	switch f := d.f.(type) {
+	case *ftl.PageFTL:
+		return f
+	case *ftl.DFTL:
+		return f.Inner()
+	default:
+		return nil
+	}
+}
+
+// WriteNameless is the §3 extended command: the device places the page
+// and returns its physical address.
+func (d *Device) WriteNameless(data []byte, done func(ftl.PPA, error)) {
+	pf := d.pageFTL()
+	if pf == nil {
+		done(ftl.InvalidPPA, ErrNamelessUnsupported)
+		return
+	}
+	d.link.Use(d.cmdOverhead+d.linkTime(d.PageSize()), "nameless-xfer", func(_, _ sim.Time) {
+		pf.WriteNameless(data, done)
+	})
+}
+
+// ReadPhys reads by physical address (the host tracked it from a
+// nameless write).
+func (d *Device) ReadPhys(ppa ftl.PPA, done func([]byte, error)) {
+	pf := d.pageFTL()
+	if pf == nil {
+		done(nil, ErrNamelessUnsupported)
+		return
+	}
+	d.link.Use(d.cmdOverhead, "cmd", func(_, _ sim.Time) {
+		pf.ReadPhys(ppa, func(data []byte, err error) {
+			if err != nil {
+				done(nil, err)
+				return
+			}
+			d.link.Use(d.linkTime(d.PageSize()), "read-xfer", func(_, _ sim.Time) {
+				done(data, nil)
+			})
+		})
+	})
+}
+
+// TrimPhys trims by physical address.
+func (d *Device) TrimPhys(ppa ftl.PPA) error {
+	pf := d.pageFTL()
+	if pf == nil {
+		return ErrNamelessUnsupported
+	}
+	return pf.TrimPhys(ppa)
+}
+
+// SetRelocationNotifier forwards GC relocation callbacks to the host —
+// the device-to-host half of "communicating peers".
+func (d *Device) SetRelocationNotifier(fn func(old, new ftl.PPA)) error {
+	pf := d.pageFTL()
+	if pf == nil {
+		return ErrNamelessUnsupported
+	}
+	pf.SetRelocationNotifier(fn)
+	return nil
+}
+
+// AtomicWrite stores a group of pages all-or-nothing (Ouyang et al.'s
+// "beyond block I/O" primitive, cited in §3). The group lands in the
+// safe write buffer in one step, so a crash either preserves the whole
+// group (battery) or the ack was never sent. It requires a safe-buffered
+// page FTL, like the capacitor-backed devices that shipped the feature.
+func (d *Device) AtomicWrite(lpns []int64, pages [][]byte, done func(error)) {
+	pf := d.pageFTL()
+	if pf == nil || !pf.BufferSafe() {
+		done(ErrAtomicUnsupported)
+		return
+	}
+	if len(lpns) != len(pages) {
+		done(fmt.Errorf("ssd: %d lpns but %d pages", len(lpns), len(pages)))
+		return
+	}
+	if len(lpns) == 0 {
+		d.eng.After(d.cmdOverhead, func() { done(nil) })
+		return
+	}
+	start := d.eng.Now()
+	total := d.cmdOverhead + d.linkTime(d.PageSize()*len(lpns))
+	d.link.Use(total, "atomic-xfer", func(_, _ sim.Time) {
+		remaining := len(lpns)
+		var firstErr error
+		for i := range lpns {
+			d.f.WriteLPN(lpns[i], pages[i], func(err error) {
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				remaining--
+				if remaining == 0 {
+					if firstErr == nil {
+						d.m.WriteLat.Record(int64(d.eng.Now() - start))
+						d.m.Writes.Add(d.PageSize() * len(lpns))
+					}
+					done(firstErr)
+				}
+			})
+		}
+	})
+}
+
+// Crash models sudden power loss: volatile buffer contents vanish. It
+// returns the LPNs whose acknowledged writes were silently lost — the
+// durability trap behind "writes complete as soon as they hit the
+// cache". Devices with safe buffers lose nothing.
+func (d *Device) Crash() []int64 {
+	if pf := d.pageFTL(); pf != nil {
+		return pf.DropVolatileBuffer()
+	}
+	return nil
+}

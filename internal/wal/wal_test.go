@@ -1,0 +1,229 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/pcm"
+	"repro/internal/sim"
+)
+
+func newPCMWAL(t *testing.T) (*sim.Engine, *WAL) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cfg := pcm.DefaultConfig()
+	cfg.CapacityBytes = 1 << 22
+	dev, err := pcm.New(eng, "pcm", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := core.NewPCMLog(pcm.NewMemBus(eng, dev), 0, 1<<21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, New(eng, log)
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(kind uint8, txn uint64, key, value []byte, lsnRaw uint32) bool {
+		lsn := int64(lsnRaw)
+		r := Record{Kind: Kind(kind%4 + 1), Txn: txn, Key: key, Value: value}
+		buf := EncodeAt(r, lsn)
+		got, n, err := decode(buf, lsn)
+		if err != nil || n != len(buf) {
+			return false
+		}
+		// A stale-LSN decode must fail.
+		if _, _, err := decode(buf, lsn+1); err == nil {
+			return false
+		}
+		return got.Kind == r.Kind && got.Txn == r.Txn &&
+			bytes.Equal(got.Key, r.Key) && bytes.Equal(got.Value, r.Value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	buf := EncodeAt(Record{Kind: KindPut, Txn: 1, Key: []byte("k"), Value: []byte("v")}, 0)
+	buf[len(buf)-1] ^= 0xFF
+	if _, _, err := decode(buf, 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit flip not detected: %v", err)
+	}
+	short := EncodeAt(Record{Kind: KindPut}, 0)[:10]
+	if _, _, err := decode(short, 0); !errors.Is(err, ErrEndOfLog) {
+		t.Fatalf("short buffer: %v", err)
+	}
+	bad := EncodeAt(Record{Kind: KindPut}, 0)
+	bad[0] = 0x00
+	if _, _, err := decode(bad, 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: %v", err)
+	}
+}
+
+func TestCommitMakesDurable(t *testing.T) {
+	eng, w := newPCMWAL(t)
+	eng.Go(func(p *sim.Proc) {
+		if _, err := w.Append(p, Record{Kind: KindPut, Txn: 1, Key: []byte("a"), Value: []byte("1")}); err != nil {
+			t.Errorf("append: %v", err)
+		}
+		if err := w.Commit(p, 1); err != nil {
+			t.Errorf("commit: %v", err)
+		}
+		if w.Durable() != w.LogDevice().Tail() {
+			t.Error("commit left undurable bytes")
+		}
+	})
+	eng.Run()
+	if w.Syncs != 1 || w.Commits != 1 {
+		t.Fatalf("syncs=%d commits=%d", w.Syncs, w.Commits)
+	}
+}
+
+func TestGroupCommitBatchesSyncs(t *testing.T) {
+	eng, w := newPCMWAL(t)
+	const clients = 16
+	for i := 0; i < clients; i++ {
+		i := i
+		eng.Go(func(p *sim.Proc) {
+			for round := 0; round < 10; round++ {
+				w.Append(p, Record{Kind: KindPut, Txn: uint64(i), Key: []byte{byte(i)}, Value: []byte{byte(round)}})
+				if err := w.Commit(p, uint64(i)); err != nil {
+					t.Errorf("commit: %v", err)
+				}
+			}
+		})
+	}
+	eng.Run()
+	if w.Commits != clients*10 {
+		t.Fatalf("commits = %d", w.Commits)
+	}
+	if w.Syncs >= w.Commits {
+		t.Fatalf("no batching: %d syncs for %d commits", w.Syncs, w.Commits)
+	}
+}
+
+func TestScanReplaysInOrder(t *testing.T) {
+	eng, w := newPCMWAL(t)
+	want := []Record{
+		{Kind: KindPut, Txn: 1, Key: []byte("a"), Value: []byte("1")},
+		{Kind: KindPut, Txn: 1, Key: []byte("b"), Value: []byte("2")},
+		{Kind: KindCommit, Txn: 1},
+		{Kind: KindDelete, Txn: 2, Key: []byte("a")},
+		{Kind: KindCommit, Txn: 2},
+	}
+	eng.Go(func(p *sim.Proc) {
+		for _, r := range want {
+			if r.Kind == KindCommit {
+				if err := w.Commit(p, r.Txn); err != nil {
+					t.Fatalf("commit: %v", err)
+				}
+				continue
+			}
+			if _, err := w.Append(p, r); err != nil {
+				t.Fatalf("append: %v", err)
+			}
+		}
+		var got []Record
+		if err := w.Scan(p, 0, func(_ int64, r Record) error {
+			got = append(got, r)
+			return nil
+		}); err != nil {
+			t.Fatalf("scan: %v", err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("scanned %d records, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Kind != want[i].Kind || got[i].Txn != want[i].Txn ||
+				!bytes.Equal(got[i].Key, want[i].Key) || !bytes.Equal(got[i].Value, want[i].Value) {
+				t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+			}
+		}
+	})
+	eng.Run()
+}
+
+func TestCheckpointTruncates(t *testing.T) {
+	eng, w := newPCMWAL(t)
+	eng.Go(func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			w.Append(p, Record{Kind: KindPut, Txn: 1, Key: []byte{byte(i)}, Value: []byte("x")})
+		}
+		w.Commit(p, 1)
+		lsn, err := w.Checkpoint(p)
+		if err != nil {
+			t.Fatalf("checkpoint: %v", err)
+		}
+		// Scan from the checkpoint: only the checkpoint record remains.
+		count := 0
+		w.Scan(p, lsn, func(_ int64, r Record) error {
+			count++
+			if count == 1 && r.Kind != KindCheckpoint {
+				t.Errorf("first record kind %d", r.Kind)
+			}
+			return nil
+		})
+		if count != 1 {
+			t.Errorf("scanned %d records after checkpoint", count)
+		}
+	})
+	eng.Run()
+}
+
+func TestPCMCommitLatencyIsMicroseconds(t *testing.T) {
+	eng, w := newPCMWAL(t)
+	var elapsed sim.Time
+	eng.Go(func(p *sim.Proc) {
+		start := p.Now()
+		w.Append(p, Record{Kind: KindPut, Txn: 1, Key: []byte("k"), Value: make([]byte, 100)})
+		w.Commit(p, 1)
+		elapsed = p.Now() - start
+	})
+	eng.Run()
+	if elapsed > 20*sim.Microsecond {
+		t.Fatalf("PCM commit took %v; the sync path should be microseconds", elapsed)
+	}
+}
+
+func TestRecoverFindsTrueTail(t *testing.T) {
+	eng, w := newPCMWAL(t)
+	eng.Go(func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			if _, err := w.Append(p, Record{Kind: KindPut, Txn: 1, Key: []byte{byte(i)}, Value: []byte("v")}); err != nil {
+				t.Fatalf("append: %v", err)
+			}
+		}
+		if err := w.Commit(p, 1); err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+		// Simulate a crash: rebuild a fresh WAL over the same device
+		// with zeroed bookkeeping, then recover.
+		w2 := New(eng, w.LogDevice())
+		if err := w2.LogDevice().Reset(p, 0, 0); err != nil {
+			t.Fatalf("amnesia reset: %v", err)
+		}
+		var got []Record
+		if err := w2.Recover(p, 0, func(_ int64, r Record) error {
+			got = append(got, r)
+			return nil
+		}); err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		if len(got) != 9 { // 8 puts + 1 commit
+			t.Fatalf("recovered %d records, want 9", len(got))
+		}
+		// The WAL must be appendable after recovery.
+		if _, err := w2.Append(p, Record{Kind: KindPut, Txn: 2, Key: []byte("x"), Value: []byte("y")}); err != nil {
+			t.Fatalf("append after recover: %v", err)
+		}
+		if err := w2.Commit(p, 2); err != nil {
+			t.Fatalf("commit after recover: %v", err)
+		}
+	})
+	eng.Run()
+}

@@ -1,0 +1,232 @@
+// Package necro is the public API of this reproduction of "The
+// Necessary Death of the Block Device Interface" (Bjørling, Bonnet,
+// Bouganim, Dayan — CIDR 2013).
+//
+// It re-exports the stable surface of the internal packages:
+//
+//   - a deterministic discrete-event simulation kernel (Engine, Proc);
+//   - simulated storage hardware: NAND flash arrays behind four FTL
+//     generations, PCM on the memory bus, and assembled SSD presets
+//     spanning 2008-2012;
+//   - the OS block layer in single-queue, multi-queue and direct forms;
+//   - the paper's proposed post-block-device interface: sync/async
+//     separation, nameless writes, trim, atomic writes (package core);
+//   - a transactional KV storage engine that runs over both the
+//     conservative and the progressive stack;
+//   - the experiment suite E1-E14 that regenerates every figure and
+//     quantitative claim in the paper.
+//
+// Quick start:
+//
+//	eng := necro.NewEngine()
+//	dev, _ := necro.BuildDevice(eng, necro.Enterprise2012, necro.DeviceOptions{})
+//	dev.Write(0, nil, func(err error) { fmt.Println("written", err) })
+//	eng.Run()
+//
+// See examples/ for complete programs and DESIGN.md for the system map.
+package necro
+
+import (
+	"repro/internal/blockdev"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/ftl"
+	"repro/internal/kvstore"
+	"repro/internal/pcm"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+// Simulation kernel.
+type (
+	// Engine is the deterministic discrete-event simulator every model
+	// runs on.
+	Engine = sim.Engine
+	// Proc is a simulated process (blocking-style client code).
+	Proc = sim.Proc
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+	// RNG is the deterministic random source.
+	RNG = sim.RNG
+)
+
+// Common durations.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// NewEngine returns a fresh simulation engine at time zero.
+func NewEngine() *Engine { return sim.NewEngine() }
+
+// NewRNG returns a seeded deterministic random source.
+func NewRNG(seed uint64) *RNG { return sim.NewRNG(seed) }
+
+// Devices.
+type (
+	// Device is the host-visible contract of a simulated SSD.
+	Device = ssd.Dev
+	// FlashDevice is a flash SSD with the extended (§3) command set.
+	FlashDevice = ssd.Device
+	// PCMSSD is a PCM SSD behind the block interface.
+	PCMSSD = ssd.PCMSSD
+	// DeviceOptions scales a preset.
+	DeviceOptions = ssd.Options
+	// DevicePreset selects a device generation.
+	DevicePreset = ssd.Preset
+	// MemBus is PCM attached to the memory bus (store + persist).
+	MemBus = pcm.MemBus
+	// PCMConfig parameterizes a PCM part.
+	PCMConfig = pcm.Config
+)
+
+// Device presets.
+const (
+	// Consumer2008 is the pre-2009 hybrid-FTL device (Myth 2 era).
+	Consumer2008 = ssd.Consumer2008
+	// Enterprise2012 is the page-mapped, battery-buffered device.
+	Enterprise2012 = ssd.Enterprise2012
+	// Enterprise2012Unbuffered isolates the write buffer's effect.
+	Enterprise2012Unbuffered = ssd.Enterprise2012Unbuffered
+	// DFTL2012 uses a demand-paged mapping cache.
+	DFTL2012 = ssd.DFTL2012
+	// PCM2012 is an Onyx-style PCM SSD.
+	PCM2012 = ssd.PCM2012
+)
+
+// BuildDevice constructs a preset device on eng.
+func BuildDevice(eng *Engine, p DevicePreset, opt DeviceOptions) (Device, error) {
+	return ssd.Build(eng, p, opt)
+}
+
+// NewMemBus attaches a PCM part to the memory bus.
+func NewMemBus(eng *Engine, name string, cfg PCMConfig) (*MemBus, error) {
+	dev, err := pcm.New(eng, name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return pcm.NewMemBus(eng, dev), nil
+}
+
+// DefaultPCMConfig returns the 2012-flavoured PCM parameterization.
+func DefaultPCMConfig() PCMConfig { return pcm.DefaultConfig() }
+
+// The I/O stack.
+type (
+	// Stack is one configured OS I/O path to a device.
+	Stack = blockdev.Stack
+	// StackConfig parameterizes the stack.
+	StackConfig = blockdev.Config
+	// StackMode selects single-queue, multi-queue or direct submission.
+	StackMode = blockdev.Mode
+)
+
+// Stack modes.
+const (
+	// SingleQueue is the classic shared-lock block layer.
+	SingleQueue = blockdev.SingleQueue
+	// MultiQueue is the blk-mq-style per-core design.
+	MultiQueue = blockdev.MultiQueue
+	// DirectAccess bypasses the block layer entirely.
+	DirectAccess = blockdev.Direct
+)
+
+// NewStack builds an I/O stack over dev.
+func NewStack(eng *Engine, dev Device, cfg StackConfig) (*Stack, error) {
+	return blockdev.New(eng, dev, cfg)
+}
+
+// DefaultStackConfig mirrors a 2012 Linux stack.
+func DefaultStackConfig(mode StackMode) StackConfig { return blockdev.DefaultConfig(mode) }
+
+// The paper's interface (package core).
+type (
+	// Store is the assembled storage interface (sync log + async pages
+	// + nameless objects).
+	Store = core.Store
+	// ObjectStore is the nameless-write object interface.
+	ObjectStore = core.ObjectStore
+	// Token is a host handle for a nameless object.
+	Token = core.Token
+	// PPA is a device physical page address.
+	PPA = ftl.PPA
+)
+
+// NewProgressiveStore assembles the paper's proposed stack.
+func NewProgressiveStore(eng *Engine, membus *MemBus, logBytes int64, flash *FlashDevice, cpus int) (*Store, error) {
+	return core.NewProgressive(eng, membus, logBytes, flash, cpus)
+}
+
+// NewConservativeStore assembles the classic stack.
+func NewConservativeStore(eng *Engine, flash Device, logPages int64, cpus int) (*Store, error) {
+	return core.NewConservative(eng, flash, logPages, cpus)
+}
+
+// The storage engine.
+type (
+	// KV is the transactional key-value storage engine.
+	KV = kvstore.Store
+	// KVTxn is one transaction.
+	KVTxn = kvstore.Txn
+	// KVConfig tunes the engine.
+	KVConfig = kvstore.Config
+	// KVSystem bundles an engine with its devices for crash testing.
+	KVSystem = kvstore.System
+)
+
+// BuildConservativeKV assembles the engine over the conservative stack.
+func BuildConservativeKV(p *Proc, eng *Engine, flash Device, logPages int64, cpus int, cfg KVConfig) (*KVSystem, error) {
+	return kvstore.BuildConservative(p, eng, flash, logPages, cpus, cfg)
+}
+
+// BuildProgressiveKV assembles the engine over the progressive stack.
+func BuildProgressiveKV(p *Proc, eng *Engine, flash *FlashDevice, membus *MemBus, logBytes int64, cpus int, cfg KVConfig) (*KVSystem, error) {
+	return kvstore.BuildProgressive(p, eng, flash, membus, logBytes, cpus, cfg)
+}
+
+// Workloads.
+type (
+	// Workload generates uFLIP-style access patterns.
+	Workload = workload.Generator
+	// WorkloadPattern names a pattern (SR, RR, SW, RW, ...).
+	WorkloadPattern = workload.Pattern
+)
+
+// uFLIP patterns.
+const (
+	SR  = workload.SR
+	RR  = workload.RR
+	SW  = workload.SW
+	RW  = workload.RW
+	ZR  = workload.ZR
+	ZW  = workload.ZW
+	MIX = workload.MIX
+)
+
+// NewWorkload builds a pattern generator over LPNs [0, span).
+func NewWorkload(p WorkloadPattern, span int64, seed uint64) (*Workload, error) {
+	return workload.NewGenerator(p, span, seed)
+}
+
+// Experiments.
+type (
+	// Experiment is one runner from the E1-E14 suite.
+	Experiment = experiments.Runner
+	// ExperimentResult is a runner's tables, figures and finding.
+	ExperimentResult = experiments.Result
+	// ExperimentScale selects Quick or Full effort.
+	ExperimentScale = experiments.Scale
+)
+
+// Experiment scales.
+const (
+	// Quick keeps runtimes interactive.
+	Quick = experiments.Quick
+	// Full is the report scale.
+	Full = experiments.Full
+)
+
+// Experiments lists the full E1-E14 suite in paper order.
+func Experiments() []Experiment { return experiments.All }
