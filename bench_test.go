@@ -86,6 +86,12 @@ func BenchmarkE13PCMSSD(b *testing.B) { benchExperiment(b, experiments.E13PCMSSD
 // BenchmarkE14UFLIP regenerates the uFLIP characterization matrix.
 func BenchmarkE14UFLIP(b *testing.B) { benchExperiment(b, experiments.E14UFLIP) }
 
+// BenchmarkE15TenantIsolation measures multi-tenant isolation under the
+// sched arbiter versus FIFO across the three stacks.
+func BenchmarkE15TenantIsolation(b *testing.B) {
+	benchExperiment(b, experiments.E15TenantIsolation)
+}
+
 // ---- substrate microbenchmarks (real wall-clock cost of the simulator) ----
 
 // BenchmarkSimulatedPageWrite measures simulator throughput for the full

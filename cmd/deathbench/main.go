@@ -1,6 +1,8 @@
-// deathbench runs the full experiment suite (E1-E14) reproducing every
-// figure and quantitative claim of "The Necessary Death of the Block
-// Device Interface" and prints the paper-style tables.
+// deathbench runs the full experiment suite (E1-E15): E1-E14 reproduce
+// every figure and quantitative claim of "The Necessary Death of the
+// Block Device Interface", and E15 extends the reproduction with the
+// multi-tenant isolation study built on the paper's communication
+// abstraction (internal/sched). It prints the paper-style tables.
 //
 // Usage:
 //

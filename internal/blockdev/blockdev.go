@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 )
@@ -73,6 +74,12 @@ type Config struct {
 	// QueueDepth bounds requests outstanding at the device; excess
 	// requests wait in the scheduler queue.
 	QueueDepth int
+	// ReadCost and WriteCost are the per-request charges a tenant
+	// scheduler bills in DRR units (zero means 1). Deficit round robin
+	// shares *cost*, not op count, so setting WriteCost near the
+	// device's program/read service-time ratio keeps cheap reads from
+	// being crowded out by expensive writes.
+	ReadCost, WriteCost int
 }
 
 // DefaultConfig mirrors a 2012 Linux stack on a fast SSD.
@@ -96,6 +103,12 @@ type Stack struct {
 
 	cpus []*sim.Server
 	lock *sim.Server // SingleQueue only
+
+	// sched, when attached, arbitrates tenant-tagged requests onto the
+	// device queue instead of the FIFO waitq; untagged requests ride
+	// the fallback tenant so they can neither starve nor be starved.
+	sched    *sched.Scheduler
+	fallback *sched.Tenant
 
 	outstanding int
 	waitq       []func()
@@ -136,6 +149,26 @@ func (s *Stack) CPU(i int) *sim.Server { return s.cpus[i%len(s.cpus)] }
 // Close rejects further submissions.
 func (s *Stack) Close() { s.closed = true }
 
+// AttachScheduler inserts a multi-tenant scheduler between the
+// submission path and the device queue. Requests carrying a Tenant tag
+// are arbitrated by it (weighted fair queueing, rate caps, GC-aware
+// deferral); untagged requests are charged to a built-in "untagged"
+// tenant, so legacy traffic shares the queue under the same arbitration
+// instead of bypassing it (a bypass would hand untagged streams strict
+// priority and starve every tenant behind a full device queue). The
+// fallback is latency-class so attaching a scheduler never exposes
+// unaware callers to GC deferral. The scheduler's kick is pointed at
+// this stack's queue pump, so deferred work resumes when rate tokens
+// refill or device GC state changes.
+func (s *Stack) AttachScheduler(sc *sched.Scheduler) {
+	s.sched = sc
+	s.fallback = sc.AddTenant("untagged", sched.LatencySensitive, 1)
+	sc.SetKick(s.pump)
+}
+
+// Scheduler returns the attached scheduler, or nil.
+func (s *Stack) Scheduler() *sched.Scheduler { return s.sched }
+
 // Op identifies the request type.
 type Op int
 
@@ -151,6 +184,11 @@ type Request struct {
 	Op   Op
 	LPN  int64
 	Data []byte
+	// Tenant, when a scheduler is attached, routes the request through
+	// that tenant's queue; nil requests are charged to the stack's
+	// built-in "untagged" tenant. Without a scheduler the tag is
+	// ignored (pure FIFO).
+	Tenant *sched.Tenant
 	// Done receives the read payload (for OpRead) and the outcome.
 	Done func(data []byte, err error)
 }
@@ -185,10 +223,52 @@ func (s *Stack) Submit(cpu int, req Request) {
 	}
 }
 
-// toDevice dispatches when queue depth allows.
+// toDevice routes a post-submission request toward the device: through
+// the attached scheduler for tenant-tagged requests, or straight to the
+// FIFO depth gate otherwise.
 func (s *Stack) toDevice(cpu int, req Request) {
+	if s.sched != nil {
+		t := req.Tenant
+		if t == nil {
+			t = s.fallback
+		}
+		s.sched.Enqueue(t, s.costOf(req.Op), func() { s.dispatch(cpu, req) })
+		s.pump()
+		return
+	}
+	s.dispatch(cpu, req)
+}
+
+// costOf maps an op to its scheduler charge.
+func (s *Stack) costOf(op Op) int {
+	switch op {
+	case OpWrite:
+		return s.cfg.WriteCost
+	default:
+		return s.cfg.ReadCost
+	}
+}
+
+// pump pulls scheduled requests into free device-queue slots. It is the
+// scheduler's kick target, so it also runs when rate tokens refill or
+// GC deferrals expire.
+func (s *Stack) pump() {
+	if s.sched == nil {
+		return
+	}
+	for s.outstanding < s.cfg.QueueDepth {
+		d, ok := s.sched.Next()
+		if !ok {
+			return
+		}
+		d()
+	}
+}
+
+// dispatch issues one request when queue depth allows.
+func (s *Stack) dispatch(cpu int, req Request) {
 	if s.outstanding >= s.cfg.QueueDepth {
-		s.waitq = append(s.waitq, func() { s.toDevice(cpu, req) })
+		s.waitq = append(s.waitq, func() { s.dispatch(cpu, req) })
 		return
 	}
 	s.outstanding++
@@ -198,6 +278,8 @@ func (s *Stack) toDevice(cpu int, req Request) {
 			next := s.waitq[0]
 			s.waitq = s.waitq[0:copy(s.waitq, s.waitq[1:])]
 			next()
+		} else {
+			s.pump()
 		}
 		cost := s.cfg.CompleteCost
 		if s.cfg.Mode == Direct {
@@ -224,10 +306,16 @@ func (s *Stack) toDevice(cpu int, req Request) {
 
 // ReadSync issues a read from core cpu and blocks the calling process.
 func (s *Stack) ReadSync(p *sim.Proc, cpu int, lpn int64) ([]byte, error) {
+	return s.ReadSyncAs(p, nil, cpu, lpn)
+}
+
+// ReadSyncAs is ReadSync with the request charged to tenant t's
+// scheduler queue (t may be nil for the unscheduled path).
+func (s *Stack) ReadSyncAs(p *sim.Proc, t *sched.Tenant, cpu int, lpn int64) ([]byte, error) {
 	c := sim.NewCond(p.Engine())
 	var data []byte
 	var rerr error
-	s.Submit(cpu, Request{Op: OpRead, LPN: lpn, Done: func(d []byte, err error) {
+	s.Submit(cpu, Request{Op: OpRead, LPN: lpn, Tenant: t, Done: func(d []byte, err error) {
 		data, rerr = d, err
 		c.Fire()
 	}})
@@ -237,9 +325,15 @@ func (s *Stack) ReadSync(p *sim.Proc, cpu int, lpn int64) ([]byte, error) {
 
 // WriteSync issues a write from core cpu and blocks the calling process.
 func (s *Stack) WriteSync(p *sim.Proc, cpu int, lpn int64, data []byte) error {
+	return s.WriteSyncAs(p, nil, cpu, lpn, data)
+}
+
+// WriteSyncAs is WriteSync with the request charged to tenant t's
+// scheduler queue (t may be nil for the unscheduled path).
+func (s *Stack) WriteSyncAs(p *sim.Proc, t *sched.Tenant, cpu int, lpn int64, data []byte) error {
 	c := sim.NewCond(p.Engine())
 	var werr error
-	s.Submit(cpu, Request{Op: OpWrite, LPN: lpn, Data: data, Done: func(_ []byte, err error) {
+	s.Submit(cpu, Request{Op: OpWrite, LPN: lpn, Data: data, Tenant: t, Done: func(_ []byte, err error) {
 		werr = err
 		c.Fire()
 	}})

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/blockdev"
 	"repro/internal/pcm"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 )
@@ -151,4 +152,31 @@ func NewConservative(eng *sim.Engine, flash ssd.Dev, logPages int64, cpus int) (
 		Log:   log,
 		Pages: NewStackPagesOffset(stack, logPages),
 	}, nil
+}
+
+// AttachScheduler inserts a multi-tenant scheduler on this store's
+// async submission path and, when the device supports it, wires the
+// device's GC-activity notifications into the scheduler — the
+// communicating-peers loop closed: the device reports relocation state
+// up, the host adjusts tenant arbitration down.
+func (s *Store) AttachScheduler(sc *sched.Scheduler) error {
+	sp, ok := s.Pages.(*StackPages)
+	if !ok {
+		return fmt.Errorf("core: page store %T exposes no stack to schedule", s.Pages)
+	}
+	sp.Stack().AttachScheduler(sc)
+	if dev, ok := sp.Stack().Device().(*ssd.Device); ok {
+		// PCM SSDs and legacy FTLs have no GC to report; the scheduler
+		// simply never sees relocation pressure then.
+		_ = dev.SetGCNotifier(sc.SetGCActiveChips)
+	}
+	return nil
+}
+
+// SetPageTenant tags all async-domain traffic with tenant t (see
+// StackPages.SetTenant). It is a no-op for non-stack page stores.
+func (s *Store) SetPageTenant(t *sched.Tenant) {
+	if sp, ok := s.Pages.(*StackPages); ok {
+		sp.SetTenant(t)
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/pcm"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 )
@@ -399,5 +400,52 @@ func TestConservativeRejectsBadLogRegion(t *testing.T) {
 	}
 	if _, err := NewConservative(eng, flash, flash.Capacity(), 1); err == nil {
 		t.Fatal("log covering whole device accepted")
+	}
+}
+
+// TestAttachSchedulerOnDirectPath wires a tenant scheduler into the
+// progressive store's async domain: page traffic is charged to the
+// tenant and the device's GC notifications reach the scheduler.
+func TestAttachSchedulerOnDirectPath(t *testing.T) {
+	eng := sim.NewEngine()
+	mb := buildMemBus(t, eng)
+	flash := buildFlash(t, eng)
+	st, err := NewProgressive(eng, mb, 1<<20, flash, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sched.New(eng, sched.DefaultConfig())
+	tenant := sc.AddTenant("engine", sched.LatencySensitive, 4)
+	if err := st.AttachScheduler(sc); err != nil {
+		t.Fatal(err)
+	}
+	st.SetPageTenant(tenant)
+	eng.Go(func(p *sim.Proc) {
+		data := make([]byte, st.Pages.PageSize())
+		data[0] = 0x5a
+		if err := st.Pages.WritePage(p, 3, data); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		got, err := st.Pages.ReadPage(p, 3)
+		if err != nil || got[0] != 0x5a {
+			t.Errorf("read back: %v %v", got, err)
+		}
+	})
+	eng.Run()
+	if tenant.Dispatched < 2 {
+		t.Fatalf("tenant saw %d dispatches, want the page write+read", tenant.Dispatched)
+	}
+	// The GC notifier is connected but no GC has run on a fresh device.
+	if sc.GCActiveChips() != 0 {
+		t.Fatalf("no GC ran yet, scheduler sees %d active chips", sc.GCActiveChips())
+	}
+}
+
+// TestAttachSchedulerRejectsNonStackPages guards the error path.
+func TestAttachSchedulerRejectsNonStackPages(t *testing.T) {
+	eng := sim.NewEngine()
+	st := &Store{eng: eng, Pages: nil}
+	if err := st.AttachScheduler(sched.New(eng, sched.DefaultConfig())); err == nil {
+		t.Fatal("nil page store accepted")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/blockdev"
+	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
@@ -14,7 +15,8 @@ type StackPages struct {
 	stack  *blockdev.Stack
 	offset int64
 	cap    int64
-	rr     int // round-robin submit core for async writes
+	tenant *sched.Tenant // tag for every request, when scheduling
+	rr     int           // round-robin submit core for async writes
 }
 
 var _ PageStore = (*StackPages)(nil)
@@ -32,6 +34,14 @@ func NewStackPagesOffset(stack *blockdev.Stack, offset int64) *StackPages {
 		cap:    stack.Device().Capacity() - offset,
 	}
 }
+
+// Stack exposes the underlying block-layer stack (for scheduler
+// attachment and instrumentation).
+func (s *StackPages) Stack() *blockdev.Stack { return s.stack }
+
+// SetTenant tags every subsequent request from this page store with
+// tenant t, routing it through the stack's attached scheduler.
+func (s *StackPages) SetTenant(t *sched.Tenant) { s.tenant = t }
 
 // PageSize implements PageStore.
 func (s *StackPages) PageSize() int { return s.stack.Device().PageSize() }
@@ -51,7 +61,7 @@ func (s *StackPages) ReadPage(p *sim.Proc, lpn int64) ([]byte, error) {
 	if err := s.check(lpn); err != nil {
 		return nil, err
 	}
-	return s.stack.ReadSync(p, s.nextCore(), lpn+s.offset)
+	return s.stack.ReadSyncAs(p, s.tenant, s.nextCore(), lpn+s.offset)
 }
 
 // WritePage implements PageStore.
@@ -59,7 +69,7 @@ func (s *StackPages) WritePage(p *sim.Proc, lpn int64, data []byte) error {
 	if err := s.check(lpn); err != nil {
 		return err
 	}
-	return s.stack.WriteSync(p, s.nextCore(), lpn+s.offset, data)
+	return s.stack.WriteSyncAs(p, s.tenant, s.nextCore(), lpn+s.offset, data)
 }
 
 // WritePageAsync implements PageStore.
@@ -69,7 +79,7 @@ func (s *StackPages) WritePageAsync(lpn int64, data []byte, done func(error)) {
 		return
 	}
 	s.stack.Submit(s.nextCore(), blockdev.Request{
-		Op: blockdev.OpWrite, LPN: lpn + s.offset, Data: data,
+		Op: blockdev.OpWrite, LPN: lpn + s.offset, Data: data, Tenant: s.tenant,
 		Done: func(_ []byte, err error) { done(err) },
 	})
 }

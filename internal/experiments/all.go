@@ -22,4 +22,5 @@ var All = []Runner{
 	{"E12", E12StackOverhead},
 	{"E13", E13PCMSSD},
 	{"E14", E14UFLIP},
+	{"E15", E15TenantIsolation},
 }

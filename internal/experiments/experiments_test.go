@@ -287,8 +287,8 @@ func TestE14MatrixSeparatesGenerations(t *testing.T) {
 }
 
 func TestAllRunnersListed(t *testing.T) {
-	if len(All) != 14 {
-		t.Fatalf("All has %d runners, want 14", len(All))
+	if len(All) != 15 {
+		t.Fatalf("All has %d runners, want 15", len(All))
 	}
 	seen := map[string]bool{}
 	for _, r := range All {
@@ -311,6 +311,38 @@ func TestResultString(t *testing.T) {
 	for _, want := range []string{"E1", "paper claim", "measured:"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("result output missing %q", want)
+		}
+	}
+}
+
+func TestE15SchedulerProtectsLatencyTenant(t *testing.T) {
+	r, err := E15TenantIsolation(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 3 {
+		t.Fatalf("tables = %d, want comparison + two per-tenant histograms", len(r.Tables))
+	}
+	tb := r.Tables[0]
+	if tb.Rows() != 9 {
+		t.Fatalf("comparison rows = %d, want 3 stacks x 3 neighbor counts", tb.Rows())
+	}
+	for row := 0; row < tb.Rows(); row++ {
+		neighbors := cellFloat(t, tb.Cell(row, 1))
+		if neighbors < 4 {
+			continue
+		}
+		fifoP99 := cellFloat(t, tb.Cell(row, 3))
+		schedP99 := cellFloat(t, tb.Cell(row, 5))
+		if schedP99 >= fifoP99 {
+			t.Errorf("%s with %v neighbors: sched p99 %v must beat fifo p99 %v",
+				tb.Cell(row, 0), neighbors, schedP99, fifoP99)
+		}
+	}
+	// The per-tenant histogram tables must carry both tenant rows.
+	for _, ht := range r.Tables[1:] {
+		if ht.Rows() != 2 {
+			t.Fatalf("per-tenant table has %d rows, want ls-reader + noisy", ht.Rows())
 		}
 	}
 }

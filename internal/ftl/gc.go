@@ -14,7 +14,7 @@ func (f *PageFTL) maybeStartGC(chip int) {
 	if cs.gcActive || len(cs.free) >= f.cfg.GCLowWater {
 		return
 	}
-	cs.gcActive = true
+	f.setGCActive(chip, true)
 	f.gcStep(chip)
 }
 
@@ -23,7 +23,7 @@ func (f *PageFTL) maybeStartGC(chip int) {
 func (f *PageFTL) gcStep(chip int) {
 	cs := &f.chips[chip]
 	if len(cs.free) >= f.cfg.GCHighWater {
-		cs.gcActive = false
+		f.setGCActive(chip, false)
 		f.drainPending(chip)
 		f.maybeStaticWL(chip)
 		return
@@ -45,7 +45,7 @@ func (f *PageFTL) gcStep(chip int) {
 			}
 			f.commitWrite(chip, ppa, job)
 		}
-		cs.gcActive = false
+		f.setGCActive(chip, false)
 		jobs := cs.pending
 		cs.pending = nil
 		if len(jobs) > 0 {
@@ -206,12 +206,12 @@ func (f *PageFTL) maybeStaticWL(chip int) {
 	if coldest == InvalidPBA || int(maxEC-minEC) <= f.cfg.StaticWearThreshold {
 		return
 	}
-	cs.gcActive = true // reuse the GC interlock
+	f.setGCActive(chip, true) // reuse the GC interlock
 	moved := f.blocks[coldest].valid
 	f.evacuateBlock(chip, coldest, 0, func() {
 		f.stats.WearMoves += int64(moved)
 		f.eraseAndFree(chip, coldest, func() {
-			cs.gcActive = false
+			f.setGCActive(chip, false)
 			f.drainPending(chip)
 		})
 	})

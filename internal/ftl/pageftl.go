@@ -76,7 +76,9 @@ type PageFTL struct {
 	chips    []chipState
 
 	buf      *writeBuffer
-	relocate func(old, new PPA) // nameless-page relocation notifier
+	relocate func(old, new PPA)    // nameless-page relocation notifier
+	gcNotify func(activeChips int) // GC/wear-leveling activity notifier
+	gcBusy   int                   // chips currently collecting
 
 	inFlight     int64 // outstanding flash programs + GC copies
 	flushWaiters []func()
@@ -150,6 +152,34 @@ func (f *PageFTL) Stats() Stats { return f.stats }
 // nameless (host-addressed) page — the device-to-host half of the
 // paper's "communicating peers" interface.
 func (f *PageFTL) SetRelocationNotifier(fn func(old, new PPA)) { f.relocate = fn }
+
+// SetGCNotifier registers the callback invoked whenever the number of
+// chips running garbage collection or static wear leveling changes —
+// the device-state half of the paper's communication abstraction, which
+// a host-side scheduler (package sched) uses to keep latency-sensitive
+// traffic ahead of background relocations.
+func (f *PageFTL) SetGCNotifier(fn func(activeChips int)) { f.gcNotify = fn }
+
+// GCActiveChips reports how many chips are collecting right now.
+func (f *PageFTL) GCActiveChips() int { return f.gcBusy }
+
+// setGCActive flips one chip's GC interlock and fires the notifier on
+// every change, so the host sees relocation activity start and stop.
+func (f *PageFTL) setGCActive(chip int, active bool) {
+	cs := &f.chips[chip]
+	if cs.gcActive == active {
+		return
+	}
+	cs.gcActive = active
+	if active {
+		f.gcBusy++
+	} else {
+		f.gcBusy--
+	}
+	if f.gcNotify != nil {
+		f.gcNotify(f.gcBusy)
+	}
+}
 
 // BufferSafe reports whether the write buffer survives power loss
 // (battery/capacitor backed). A device without a buffer is trivially
@@ -413,7 +443,7 @@ func (f *PageFTL) reroute(jobs []writeJob) {
 				// GC may already be at its high watermark yet garbage
 				// remains; force another pass for the parked job.
 				if !cs.gcActive {
-					cs.gcActive = true
+					f.setGCActive(c, true)
 					f.gcStep(c)
 				}
 				placed = true

@@ -251,3 +251,43 @@ func TestGanttTinySpanVisible(t *testing.T) {
 		t.Fatalf("tiny span not rendered:\n%s", out)
 	}
 }
+
+func TestTenantLatenciesRecordAndTable(t *testing.T) {
+	tl := NewTenantLatencies()
+	for i := 0; i < 100; i++ {
+		tl.Record("a", int64(1000+i))
+		tl.Record("b", int64(50000+i))
+	}
+	if got := tl.Tenants(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("tenant order %v", got)
+	}
+	if tl.Hist("a").Count() != 100 || tl.Hist("b").Count() != 100 {
+		t.Fatal("sample counts wrong")
+	}
+	if tl.Hist("a").P99() >= tl.Hist("b").P50() {
+		t.Fatal("tenant distributions not separated")
+	}
+	tbl := tl.Table("per-tenant latency")
+	if tbl.Rows() != 2 {
+		t.Fatalf("table rows = %d, want 2", tbl.Rows())
+	}
+	if tbl.Cell(0, 0) != "a" || tbl.Cell(1, 0) != "b" {
+		t.Fatal("table tenant column wrong")
+	}
+}
+
+func TestTenantLatenciesMergeAndReset(t *testing.T) {
+	a := NewTenantLatencies()
+	b := NewTenantLatencies()
+	a.Record("x", 10)
+	b.Record("x", 20)
+	b.Record("y", 30)
+	a.Merge(b)
+	if a.Hist("x").Count() != 2 || a.Hist("y").Count() != 1 {
+		t.Fatal("merge lost samples")
+	}
+	a.Reset()
+	if a.Hist("x").Count() != 0 || len(a.Tenants()) != 2 {
+		t.Fatal("reset must clear samples but keep tenants")
+	}
+}

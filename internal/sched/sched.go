@@ -1,0 +1,391 @@
+// Package sched is a multi-tenant I/O scheduler for the submission
+// path. The paper's thesis is that the block interface must die because
+// it hides the information both sides need to schedule well; once host
+// and device are communicating peers (package core), the host can run
+// real per-tenant arbitration right above the device queue. This
+// package provides that arbitration:
+//
+//   - tenant-tagged request classes: latency-sensitive tenants (point
+//     lookups, commits) versus throughput tenants (scans, batch loads);
+//   - weighted deficit-round-robin fair queueing across tenants, so one
+//     noisy neighbor cannot monopolize the device queue;
+//   - token-bucket rate caps per tenant, for hard QoS ceilings;
+//   - a GC-aware mode that consumes the device-to-host GC-activity
+//     notifications (the communication abstraction at work) and defers
+//     throughput-class dispatches while the device is relocating data
+//     and a latency-sensitive tenant has requests at risk.
+//
+// The scheduler is pull-based: a downstream stack (package blockdev)
+// enqueues tenant-tagged requests and pops the next dispatch whenever a
+// device-queue slot frees. When nothing is eligible now but will be
+// later (rate caps refilling, GC deferrals expiring), the scheduler
+// arms a virtual-time timer and invokes the registered kick callback so
+// the stack pulls again.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Class partitions tenants by what they are optimizing for.
+type Class int
+
+// Tenant classes.
+const (
+	// LatencySensitive tenants care about per-request tail latency
+	// (point reads, commit waits).
+	LatencySensitive Class = iota
+	// Throughput tenants care about aggregate bandwidth (scans,
+	// batch loads, background maintenance) and tolerate deferral.
+	Throughput
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case LatencySensitive:
+		return "latency"
+	case Throughput:
+		return "throughput"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// Quantum is the deficit credit per unit weight per round (cost
+	// units). Larger quanta lower scheduling overhead but coarsen
+	// interleaving. Zero means 1.
+	Quantum int
+	// GCAware enables deferral of throughput-class dispatches while the
+	// device reports active garbage collection and a latency-sensitive
+	// tenant has queued requests.
+	GCAware bool
+	// GCDeferLimit bounds how long one throughput request may be held
+	// back by GC-awareness, so background tenants cannot starve
+	// outright. Zero means 2ms.
+	GCDeferLimit sim.Time
+}
+
+// DefaultConfig returns the standard scheduler parameters.
+func DefaultConfig() Config {
+	return Config{Quantum: 1, GCAware: true, GCDeferLimit: 2 * sim.Millisecond}
+}
+
+// request is one queued dispatch.
+type request struct {
+	cost       int
+	at         sim.Time // enqueue time
+	deferred   bool     // GC-deferral in effect (counted once)
+	deferredAt sim.Time // when the deferral began
+	dispatch   func()
+}
+
+// Tenant is one registered traffic source. Create with
+// Scheduler.AddTenant; fields are managed by the scheduler.
+type Tenant struct {
+	s      *Scheduler
+	name   string
+	class  Class
+	weight int
+
+	deficit int
+	q       []request
+
+	// Token-bucket rate cap (ops/sec); rate 0 means uncapped.
+	rate       float64
+	burst      float64
+	tokens     float64
+	lastRefill sim.Time
+
+	// Enqueued and Dispatched count requests through this tenant.
+	Enqueued   int64
+	Dispatched int64
+	// Wait records per-request queue delay (enqueue to dispatch) in
+	// nanoseconds.
+	Wait metrics.Histogram
+}
+
+// Name returns the tenant's registered name.
+func (t *Tenant) Name() string { return t.name }
+
+// Class returns the tenant's class.
+func (t *Tenant) Class() Class { return t.class }
+
+// Weight returns the tenant's fair-share weight.
+func (t *Tenant) Weight() int { return t.weight }
+
+// Backlog reports the tenant's queued request count.
+func (t *Tenant) Backlog() int { return len(t.q) }
+
+// SetRateLimit caps the tenant at opsPerSec with the given burst
+// allowance (ops). opsPerSec <= 0 removes the cap.
+func (t *Tenant) SetRateLimit(opsPerSec float64, burst int) {
+	if opsPerSec <= 0 {
+		t.rate = 0
+		return
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	t.rate = opsPerSec
+	t.burst = float64(burst)
+	t.tokens = t.burst
+	t.lastRefill = t.s.eng.Now()
+}
+
+// refill tops the token bucket up to now.
+func (t *Tenant) refill(now sim.Time) {
+	if t.rate == 0 || now <= t.lastRefill {
+		return
+	}
+	t.tokens += t.rate * (now - t.lastRefill).Seconds()
+	if t.tokens > t.burst {
+		t.tokens = t.burst
+	}
+	t.lastRefill = now
+}
+
+// Scheduler arbitrates tenant-tagged requests onto a single downstream
+// queue. It is single-threaded, like everything on a sim.Engine.
+type Scheduler struct {
+	eng *sim.Engine
+	cfg Config
+
+	tenants []*Tenant
+	rr      int // round-robin scan origin
+
+	backlog        int // queued requests, all tenants
+	latencyBacklog int // queued requests of latency-sensitive tenants
+
+	gcChips int // device-reported chips currently garbage-collecting
+	kick    func()
+
+	// GCDeferrals counts throughput requests held back at least once by
+	// the GC-aware policy.
+	GCDeferrals int64
+}
+
+// New builds a scheduler on eng.
+func New(eng *sim.Engine, cfg Config) *Scheduler {
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 1
+	}
+	if cfg.GCDeferLimit <= 0 {
+		cfg.GCDeferLimit = 2 * sim.Millisecond
+	}
+	return &Scheduler{eng: eng, cfg: cfg}
+}
+
+// AddTenant registers a traffic source. Weight sets its fair share
+// relative to other tenants (minimum 1).
+func (s *Scheduler) AddTenant(name string, class Class, weight int) *Tenant {
+	if weight < 1 {
+		weight = 1
+	}
+	t := &Tenant{s: s, name: name, class: class, weight: weight}
+	s.tenants = append(s.tenants, t)
+	return t
+}
+
+// Tenants returns the registered tenants in registration order.
+func (s *Scheduler) Tenants() []*Tenant { return s.tenants }
+
+// Backlog reports the total queued request count.
+func (s *Scheduler) Backlog() int { return s.backlog }
+
+// SetKick registers the callback invoked when previously ineligible
+// work becomes dispatchable (rate tokens refill, GC state changes).
+// The downstream stack points this at its queue pump.
+func (s *Scheduler) SetKick(fn func()) { s.kick = fn }
+
+// SetGCActiveChips is the device-to-host notification sink: the device
+// reports how many of its chips are currently garbage-collecting (or
+// wear-leveling). Wire it to ssd.Device.SetGCNotifier.
+func (s *Scheduler) SetGCActiveChips(chips int) {
+	was := s.gcChips
+	s.gcChips = chips
+	if was != chips && s.kick != nil {
+		// Both edges matter: GC starting may demote throughput work that
+		// is already queued; GC ending frees it.
+		s.kick()
+	}
+}
+
+// GCActiveChips reports the device GC load last notified.
+func (s *Scheduler) GCActiveChips() int { return s.gcChips }
+
+// Enqueue adds one request for tenant t. cost is the request's size in
+// scheduling units (1 for a page I/O); dispatch runs when the scheduler
+// selects the request via Next.
+func (s *Scheduler) Enqueue(t *Tenant, cost int, dispatch func()) {
+	if cost < 1 {
+		cost = 1
+	}
+	t.q = append(t.q, request{cost: cost, at: s.eng.Now(), dispatch: dispatch})
+	t.Enqueued++
+	s.backlog++
+	if t.class == LatencySensitive {
+		s.latencyBacklog++
+	}
+}
+
+// eligible reports whether tenant t's head request may dispatch now.
+func (s *Scheduler) eligible(t *Tenant, now sim.Time) bool {
+	head := &t.q[0]
+	t.refill(now)
+	// The bucket is in ops, not DRR cost units: a rate cap promises
+	// "this many requests per second" regardless of how expensively
+	// each request is billed to the fair-queueing deficit.
+	if t.rate > 0 && t.tokens < 1 {
+		return false
+	}
+	if s.cfg.GCAware && s.gcChips > 0 && t.class == Throughput && s.latencyBacklog > 0 {
+		if !head.deferred {
+			head.deferred = true
+			head.deferredAt = now
+			s.GCDeferrals++
+		}
+		// The limit bounds time spent deferred, not total queue age, so
+		// a request that already waited its fair-queueing turn can still
+		// be held back briefly while GC and latency traffic overlap.
+		if now-head.deferredAt < s.cfg.GCDeferLimit {
+			return false
+		}
+	}
+	return true
+}
+
+// pop dequeues tenant t's head request and settles its accounting.
+func (s *Scheduler) pop(t *Tenant, now sim.Time) request {
+	head := t.q[0]
+	t.q = t.q[0:copy(t.q, t.q[1:])]
+	if len(t.q) == 0 {
+		// Standard DRR: an idling tenant forfeits its deficit, so credit
+		// cannot be hoarded across idle periods.
+		t.deficit = 0
+	}
+	if t.rate > 0 {
+		t.tokens--
+	}
+	t.Dispatched++
+	t.Wait.Record(int64(now - head.at))
+	s.backlog--
+	if t.class == LatencySensitive {
+		s.latencyBacklog--
+	}
+	return head
+}
+
+// Next selects the next request under deficit round robin, honoring
+// rate caps and the GC-aware policy. It returns the request's dispatch
+// function, or ok=false when nothing is eligible right now (in which
+// case a wake-up timer is armed if eligibility will arrive on its own).
+func (s *Scheduler) Next() (dispatch func(), ok bool) {
+	if s.backlog == 0 {
+		return nil, false
+	}
+	now := s.eng.Now()
+	n := len(s.tenants)
+	// Two scans at most: if the first finds eligible tenants but none
+	// affordable, crediting jumps everyone forward by exactly the
+	// number of whole DRR rounds that makes the cheapest head
+	// affordable (equivalent to iterating rounds one by one, without a
+	// bound that a large per-op cost could exhaust), so the second
+	// scan dispatches.
+	for {
+		anyEligible := false
+		for i := 0; i < n; i++ {
+			idx := (s.rr + i) % n
+			t := s.tenants[idx]
+			if len(t.q) == 0 || !s.eligible(t, now) {
+				continue
+			}
+			anyEligible = true
+			if t.deficit >= t.q[0].cost {
+				t.deficit -= t.q[0].cost
+				head := s.pop(t, now)
+				s.rr = (idx + 1) % n
+				return head.dispatch, true
+			}
+		}
+		if !anyEligible {
+			break
+		}
+		rounds := 0
+		for _, t := range s.tenants {
+			if len(t.q) == 0 || !s.eligible(t, now) {
+				continue
+			}
+			per := s.cfg.Quantum * t.weight
+			need := (t.q[0].cost - t.deficit + per - 1) / per
+			if need < 1 {
+				need = 1
+			}
+			if rounds == 0 || need < rounds {
+				rounds = need
+			}
+		}
+		for _, t := range s.tenants {
+			if len(t.q) > 0 && s.eligible(t, now) {
+				t.deficit += rounds * s.cfg.Quantum * t.weight
+			}
+		}
+	}
+	s.armWakeup(now)
+	return nil, false
+}
+
+// armWakeup schedules a kick at the earliest future instant at which a
+// currently ineligible head request becomes dispatchable: a token
+// bucket refilling past its head cost, or a GC deferral aging past
+// GCDeferLimit. Stale timers are harmless — the kick just finds
+// nothing eligible and re-arms.
+func (s *Scheduler) armWakeup(now sim.Time) {
+	if s.kick == nil {
+		return
+	}
+	wake := sim.MaxTime
+	for _, t := range s.tenants {
+		if len(t.q) == 0 {
+			continue
+		}
+		head := &t.q[0]
+		if t.rate > 0 && t.tokens < 1 {
+			need := 1 - t.tokens
+			at := now + sim.Time(need/t.rate*float64(sim.Second)) + 1
+			if at < wake {
+				wake = at
+			}
+		}
+		if s.cfg.GCAware && s.gcChips > 0 && t.class == Throughput && s.latencyBacklog > 0 && head.deferred {
+			at := head.deferredAt + s.cfg.GCDeferLimit
+			if at < wake {
+				wake = at
+			}
+		}
+	}
+	if wake == sim.MaxTime {
+		return
+	}
+	if wake <= now {
+		wake = now + 1
+	}
+	s.eng.Schedule(wake, s.kick)
+}
+
+// WaitTable renders each tenant's queue-wait distribution, for
+// experiment output.
+func (s *Scheduler) WaitTable(title string) *metrics.Table {
+	t := metrics.NewTable(title, "tenant", "class", "weight", "enq", "disp", "wait p50 (µs)", "wait p99 (µs)")
+	for _, tn := range s.tenants {
+		t.AddRow(tn.name, tn.class.String(), tn.weight, tn.Enqueued, tn.Dispatched,
+			fmt.Sprintf("%.1f", float64(tn.Wait.P50())/1e3),
+			fmt.Sprintf("%.1f", float64(tn.Wait.P99())/1e3))
+	}
+	return t
+}

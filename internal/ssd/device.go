@@ -238,6 +238,20 @@ func (d *Device) SetRelocationNotifier(fn func(old, new ftl.PPA)) error {
 	return nil
 }
 
+// SetGCNotifier forwards device GC-activity notifications to the host:
+// fn receives the number of chips currently garbage-collecting (or
+// wear-leveling) every time that number changes. Host-side schedulers
+// use it to keep latency-sensitive traffic out of GC's way — device
+// state the block interface never exposed.
+func (d *Device) SetGCNotifier(fn func(activeChips int)) error {
+	pf := d.pageFTL()
+	if pf == nil {
+		return ErrNamelessUnsupported
+	}
+	pf.SetGCNotifier(fn)
+	return nil
+}
+
 // AtomicWrite stores a group of pages all-or-nothing (Ouyang et al.'s
 // "beyond block I/O" primitive, cited in §3). The group lands in the
 // safe write buffer in one step, so a crash either preserves the whole

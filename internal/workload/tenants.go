@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// TenantSpec describes one tenant's stream in a multi-tenant mix — the
+// serving scenarios (many concurrent users over one device) that the
+// scheduling experiments replay. The spec is deliberately free of
+// scheduler types: experiments map LatencySensitive/Weight onto
+// whatever arbitration they are evaluating.
+type TenantSpec struct {
+	// Name labels the tenant in results.
+	Name string
+	// LatencySensitive marks tenants whose tail latency is the metric
+	// (point lookups, commits); the rest are throughput/batch tenants.
+	LatencySensitive bool
+	// Weight is the tenant's fair share relative to its neighbors.
+	Weight int
+	// Pattern is the tenant's access pattern over its span.
+	Pattern Pattern
+	// ThinkTime paces an open-loop tenant: one access every ThinkTime.
+	// Zero means closed-loop (back-to-back at Depth outstanding).
+	ThinkTime sim.Time
+	// Depth is the closed-loop concurrency (outstanding requests);
+	// minimum 1. Ignored for open-loop tenants.
+	Depth int
+	// Seed offsets the tenant's RNG so streams differ.
+	Seed uint64
+}
+
+// normalize fills defaults in place.
+func (t *TenantSpec) normalize(i int) {
+	if t.Name == "" {
+		t.Name = fmt.Sprintf("tenant%d", i)
+	}
+	if t.Weight < 1 {
+		t.Weight = 1
+	}
+	if t.Depth < 1 {
+		t.Depth = 1
+	}
+	if t.Seed == 0 {
+		t.Seed = uint64(i + 1)
+	}
+}
+
+// NewTenantGenerator builds the access generator for one spec over
+// LPNs [0, span).
+func NewTenantGenerator(spec TenantSpec, span int64) (*Generator, error) {
+	return NewGenerator(spec.Pattern, span, spec.Seed)
+}
+
+// NoisyNeighborMix is the isolation scenario of experiment E15: one
+// latency-sensitive tenant doing paced random point reads while n
+// noisy neighbors hammer the device with closed-loop random writes.
+func NoisyNeighborMix(n int) []TenantSpec {
+	specs := []TenantSpec{{
+		Name:             "ls-reader",
+		LatencySensitive: true,
+		Weight:           8,
+		Pattern:          RR,
+		ThinkTime:        200 * sim.Microsecond,
+	}}
+	for i := 0; i < n; i++ {
+		specs = append(specs, TenantSpec{
+			Name:    fmt.Sprintf("noisy%d", i),
+			Weight:  1,
+			Pattern: RW,
+			Depth:   2,
+		})
+	}
+	return normalizeAll(specs)
+}
+
+// MixedRWMix is a serving mix: latency-sensitive Zipf readers sharing
+// the device with a write-heavy ingest tenant and a 50/50 updater.
+func MixedRWMix() []TenantSpec {
+	return normalizeAll([]TenantSpec{
+		{Name: "point-reads", LatencySensitive: true, Weight: 6, Pattern: ZR, ThinkTime: 150 * sim.Microsecond},
+		{Name: "ingest", Weight: 2, Pattern: SW, Depth: 4},
+		{Name: "updater", Weight: 1, Pattern: MIX, Depth: 2},
+	})
+}
+
+// ScanHeavyMix pits paced point reads against sequential scan tenants —
+// the analytics-next-to-OLTP scenario.
+func ScanHeavyMix(scans int) []TenantSpec {
+	specs := []TenantSpec{{
+		Name:             "point-reads",
+		LatencySensitive: true,
+		Weight:           8,
+		Pattern:          RR,
+		ThinkTime:        100 * sim.Microsecond,
+	}}
+	for i := 0; i < scans; i++ {
+		specs = append(specs, TenantSpec{
+			Name:    fmt.Sprintf("scan%d", i),
+			Weight:  1,
+			Pattern: SR,
+			Depth:   8,
+		})
+	}
+	return normalizeAll(specs)
+}
+
+func normalizeAll(specs []TenantSpec) []TenantSpec {
+	for i := range specs {
+		specs[i].normalize(i)
+	}
+	return specs
+}

@@ -135,3 +135,56 @@ func TestTxnGeneratorRejectsBadParams(t *testing.T) {
 		t.Fatal("zero ops accepted")
 	}
 }
+
+func TestNoisyNeighborMixShape(t *testing.T) {
+	specs := NoisyNeighborMix(4)
+	if len(specs) != 5 {
+		t.Fatalf("got %d specs, want 5", len(specs))
+	}
+	if !specs[0].LatencySensitive || specs[0].ThinkTime == 0 {
+		t.Fatal("first tenant must be an open-loop latency-sensitive reader")
+	}
+	for i, s := range specs[1:] {
+		if s.LatencySensitive {
+			t.Fatalf("neighbor %d marked latency-sensitive", i)
+		}
+		if s.Depth < 1 || s.Weight < 1 || s.Seed == 0 || s.Name == "" {
+			t.Fatalf("neighbor %d not normalized: %+v", i, s)
+		}
+	}
+	if specs[0].Weight <= specs[1].Weight {
+		t.Fatal("latency-sensitive tenant should outweigh a neighbor")
+	}
+}
+
+func TestTenantMixGeneratorsDiffer(t *testing.T) {
+	specs := NoisyNeighborMix(2)
+	g1, err := NewTenantGenerator(specs[1], 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewTenantGenerator(specs[2], 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < 16; i++ {
+		if g1.Next().LPN != g2.Next().LPN {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("neighbor streams identical; seeds not differentiated")
+	}
+}
+
+func TestScanHeavyAndMixedMixes(t *testing.T) {
+	if n := len(ScanHeavyMix(3)); n != 4 {
+		t.Fatalf("scan mix size %d, want 4", n)
+	}
+	for _, s := range MixedRWMix() {
+		if s.Name == "" || s.Weight < 1 || s.Depth < 1 {
+			t.Fatalf("mixed spec not normalized: %+v", s)
+		}
+	}
+}

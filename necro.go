@@ -13,7 +13,10 @@
 //     separation, nameless writes, trim, atomic writes (package core);
 //   - a transactional KV storage engine that runs over both the
 //     conservative and the progressive stack;
-//   - the experiment suite E1-E14 that regenerates every figure and
+//   - a multi-tenant I/O scheduler (weighted fair queueing, rate caps,
+//     GC-aware deferral fed by device notifications) on the
+//     submission path;
+//   - the experiment suite E1-E15 that regenerates every figure and
 //     quantitative claim in the paper.
 //
 // Quick start:
@@ -33,6 +36,7 @@ import (
 	"repro/internal/ftl"
 	"repro/internal/kvstore"
 	"repro/internal/pcm"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/workload"
@@ -141,6 +145,35 @@ func NewStack(eng *Engine, dev Device, cfg StackConfig) (*Stack, error) {
 // DefaultStackConfig mirrors a 2012 Linux stack.
 func DefaultStackConfig(mode StackMode) StackConfig { return blockdev.DefaultConfig(mode) }
 
+// Multi-tenant scheduling (package sched).
+type (
+	// Scheduler arbitrates tenant-tagged requests on the submission
+	// path (weighted fair queueing, rate caps, GC-aware deferral).
+	Scheduler = sched.Scheduler
+	// SchedulerConfig parameterizes a Scheduler.
+	SchedulerConfig = sched.Config
+	// Tenant is one registered traffic source.
+	Tenant = sched.Tenant
+	// TenantClass separates latency-sensitive from throughput tenants.
+	TenantClass = sched.Class
+)
+
+// Tenant classes.
+const (
+	// LatencySensitive tenants are protected by fair queueing and the
+	// GC-aware policy.
+	LatencySensitive = sched.LatencySensitive
+	// Throughput tenants tolerate deferral for aggregate bandwidth.
+	Throughput = sched.Throughput
+)
+
+// NewScheduler builds a multi-tenant scheduler on eng; attach it with
+// Stack.AttachScheduler and tag requests with tenants from AddTenant.
+func NewScheduler(eng *Engine, cfg SchedulerConfig) *Scheduler { return sched.New(eng, cfg) }
+
+// DefaultSchedulerConfig returns the standard arbitration parameters.
+func DefaultSchedulerConfig() SchedulerConfig { return sched.DefaultConfig() }
+
 // The paper's interface (package core).
 type (
 	// Store is the assembled storage interface (sync log + async pages
@@ -212,7 +245,7 @@ func NewWorkload(p WorkloadPattern, span int64, seed uint64) (*Workload, error) 
 
 // Experiments.
 type (
-	// Experiment is one runner from the E1-E14 suite.
+	// Experiment is one runner from the E1-E15 suite.
 	Experiment = experiments.Runner
 	// ExperimentResult is a runner's tables, figures and finding.
 	ExperimentResult = experiments.Result
@@ -228,5 +261,5 @@ const (
 	Full = experiments.Full
 )
 
-// Experiments lists the full E1-E14 suite in paper order.
+// Experiments lists the full E1-E15 suite in paper order.
 func Experiments() []Experiment { return experiments.All }
