@@ -92,6 +92,12 @@ func BenchmarkE15TenantIsolation(b *testing.B) {
 	benchExperiment(b, experiments.E15TenantIsolation)
 }
 
+// BenchmarkE16ServingFabric measures the sharded KV serving fabric with
+// and without shard-boundary admission control under overload.
+func BenchmarkE16ServingFabric(b *testing.B) {
+	benchExperiment(b, experiments.E16ServingFabric)
+}
+
 // ---- substrate microbenchmarks (real wall-clock cost of the simulator) ----
 
 // BenchmarkSimulatedPageWrite measures simulator throughput for the full

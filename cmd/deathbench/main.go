@@ -1,8 +1,10 @@
-// deathbench runs the full experiment suite (E1-E15): E1-E14 reproduce
+// deathbench runs the full experiment suite (E1-E16): E1-E14 reproduce
 // every figure and quantitative claim of "The Necessary Death of the
-// Block Device Interface", and E15 extends the reproduction with the
-// multi-tenant isolation study built on the paper's communication
-// abstraction (internal/sched). It prints the paper-style tables.
+// Block Device Interface", and E15/E16 extend the reproduction with the
+// multi-tenant studies built on the paper's communication abstraction:
+// scheduler isolation (internal/sched) and the sharded KV serving
+// fabric with admission control (internal/serve). It prints the
+// paper-style tables.
 //
 // Usage:
 //

@@ -21,8 +21,14 @@ import (
 	"repro/internal/ssd"
 )
 
-// ErrStackClosed reports submission after Close.
-var ErrStackClosed = errors.New("blockdev: stack closed")
+// Package errors.
+var (
+	// ErrStackClosed reports submission after Close.
+	ErrStackClosed = errors.New("blockdev: stack closed")
+	// ErrQueueLimit reports a request rejected by its tenant's scheduler
+	// queue limit (admission control) instead of being backlogged.
+	ErrQueueLimit = errors.New("blockdev: tenant queue limit reached")
+)
 
 // Mode selects the submission path.
 type Mode int
@@ -232,7 +238,13 @@ func (s *Stack) toDevice(cpu int, req Request) {
 		if t == nil {
 			t = s.fallback
 		}
-		s.sched.Enqueue(t, s.costOf(req.Op), func() { s.dispatch(cpu, req) })
+		if !s.sched.Enqueue(t, s.costOf(req.Op), func() { s.dispatch(cpu, req) }) {
+			// Rejected at admission: fail fast rather than queue.
+			if req.Done != nil {
+				req.Done(nil, ErrQueueLimit)
+			}
+			return
+		}
 		s.pump()
 		return
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/blockdev"
 	"repro/internal/pcm"
+	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
@@ -141,6 +142,9 @@ type BlockLog struct {
 	pages    int64
 	pageSize int
 
+	tenant *sched.Tenant // scheduler tag for every log I/O
+	core   int           // submitting core for log I/O
+
 	head int64
 	tail int64
 
@@ -165,6 +169,16 @@ func NewBlockLog(stack *blockdev.Stack, basePage, pages int64) (*BlockLog, error
 		buf:      make(map[int64][]byte),
 	}, nil
 }
+
+// SetTenant tags every subsequent log I/O with tenant t, routing it
+// through the stack's attached scheduler (multi-shard assemblies give
+// each shard's WAL the shard's tenant).
+func (l *BlockLog) SetTenant(t *sched.Tenant) { l.tenant = t }
+
+// SetSubmitCore picks the stack core that issues this log's I/O, so
+// shards sharing one stack do not all serialize their WAL syncs behind
+// core 0.
+func (l *BlockLog) SetSubmitCore(c int) { l.core = c }
 
 // Append implements LogDevice: staged in RAM until Sync.
 func (l *BlockLog) Append(p *sim.Proc, data []byte) (int64, error) {
@@ -201,11 +215,11 @@ func (l *BlockLog) Sync(p *sim.Proc) error {
 			continue
 		}
 		lpn := l.basePage + idx
-		if err := l.stack.WriteSync(p, 0, lpn, page); err != nil {
+		if err := l.stack.WriteSyncAs(p, l.tenant, l.core, lpn, page); err != nil {
 			return fmt.Errorf("core: block log sync: %w", err)
 		}
 	}
-	if err := l.stack.FlushSync(p, 0); err != nil {
+	if err := l.stack.FlushSync(p, l.core); err != nil {
 		return fmt.Errorf("core: block log flush: %w", err)
 	}
 	// The tail page stays buffered: the next Sync rewrites it if more
@@ -232,7 +246,7 @@ func (l *BlockLog) ReadAt(p *sim.Proc, off int64, n int) ([]byte, error) {
 		if page := l.buf[pageIdx]; page != nil {
 			out = append(out, page[inPage:inPage+want]...)
 		} else {
-			data, err := l.stack.ReadSync(p, 0, l.basePage+pageIdx)
+			data, err := l.stack.ReadSyncAs(p, l.tenant, l.core, l.basePage+pageIdx)
 			if err != nil {
 				return nil, err
 			}
@@ -260,7 +274,7 @@ func (l *BlockLog) RawReadAt(p *sim.Proc, off int64, n int) ([]byte, error) {
 		if rest := int64(l.pageSize) - inPage; want > rest {
 			want = rest
 		}
-		data, err := l.stack.ReadSync(p, 0, l.basePage+pageIdx)
+		data, err := l.stack.ReadSyncAs(p, l.tenant, l.core, l.basePage+pageIdx)
 		if err != nil {
 			return nil, err
 		}
@@ -284,7 +298,7 @@ func (l *BlockLog) Reset(p *sim.Proc, head, tail int64) error {
 	l.buf = make(map[int64][]byte)
 	if tail%int64(l.pageSize) != 0 {
 		idx := (tail / int64(l.pageSize)) % l.pages
-		data, err := l.stack.ReadSync(p, 0, l.basePage+idx)
+		data, err := l.stack.ReadSyncAs(p, l.tenant, l.core, l.basePage+idx)
 		if err != nil {
 			return err
 		}

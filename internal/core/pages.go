@@ -35,6 +35,17 @@ func NewStackPagesOffset(stack *blockdev.Stack, offset int64) *StackPages {
 	}
 }
 
+// NewStackPagesRegion exposes only pages [offset, offset+pages) of the
+// device under stack — the multi-shard assembly, where several stores
+// carve disjoint regions out of one device behind one stack.
+func NewStackPagesRegion(stack *blockdev.Stack, offset, pages int64) (*StackPages, error) {
+	if offset < 0 || pages <= 0 || offset+pages > stack.Device().Capacity() {
+		return nil, fmt.Errorf("core: page region [%d,%d) outside device (%d pages)",
+			offset, offset+pages, stack.Device().Capacity())
+	}
+	return &StackPages{stack: stack, offset: offset, cap: pages}, nil
+}
+
 // Stack exposes the underlying block-layer stack (for scheduler
 // attachment and instrumentation).
 func (s *StackPages) Stack() *blockdev.Stack { return s.stack }

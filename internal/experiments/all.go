@@ -23,4 +23,5 @@ var All = []Runner{
 	{"E13", E13PCMSSD},
 	{"E14", E14UFLIP},
 	{"E15", E15TenantIsolation},
+	{"E16", E16ServingFabric},
 }

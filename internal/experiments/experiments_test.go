@@ -287,8 +287,8 @@ func TestE14MatrixSeparatesGenerations(t *testing.T) {
 }
 
 func TestAllRunnersListed(t *testing.T) {
-	if len(All) != 15 {
-		t.Fatalf("All has %d runners, want 15", len(All))
+	if len(All) != 16 {
+		t.Fatalf("All has %d runners, want 16", len(All))
 	}
 	seen := map[string]bool{}
 	for _, r := range All {
@@ -343,6 +343,67 @@ func TestE15SchedulerProtectsLatencyTenant(t *testing.T) {
 	for _, ht := range r.Tables[1:] {
 		if ht.Rows() != 2 {
 			t.Fatalf("per-tenant table has %d rows, want ls-reader + noisy", ht.Rows())
+		}
+	}
+}
+
+func TestE16AdmissionControlsOverload(t *testing.T) {
+	r, err := E16ServingFabric(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 4 {
+		t.Fatalf("tables = %d, want comparison + two shard ledgers + tenant latencies", len(r.Tables))
+	}
+	tb := r.Tables[0]
+	if tb.Rows() != 18 {
+		t.Fatalf("comparison rows = %d, want 2 mixes x 3 stacks x 3 shard counts", tb.Rows())
+	}
+	for row := 0; row < tb.Rows(); row++ {
+		label := tb.Cell(row, 0) + "/" + tb.Cell(row, 1)
+		if cellFloat(t, tb.Cell(row, 2)) != 16 {
+			// Below saturation sharding, admission's tail win is large and
+			// stable on the scan-dominated mix: the bounded queue keeps the
+			// point reader from sitting behind a wall of admitted scans.
+			if tb.Cell(row, 0) == "ScanHeavy" {
+				p99Off, p99On := cellFloat(t, tb.Cell(row, 5)), cellFloat(t, tb.Cell(row, 6))
+				if p99On >= p99Off {
+					t.Errorf("%s/%s shards: admission did not lower ls p99 (%v -> %v µs)",
+						label, tb.Cell(row, 2), p99Off, p99On)
+				}
+			}
+			continue
+		}
+		// The acceptance bar: under the 16-shard overload mix, admission
+		// control must reject (not silently backlog), lower the served
+		// deadline-miss rate, and bound the per-shard queue.
+		if rej := cellFloat(t, tb.Cell(row, 9)); rej <= 0 {
+			t.Errorf("%s: no admission rejects under 16-shard overload", label)
+		}
+		missOff := cellFloat(t, tb.Cell(row, 7))
+		missOn := cellFloat(t, tb.Cell(row, 8))
+		if missOn >= missOff {
+			t.Errorf("%s: miss rate with admission (%v%%) not below without (%v%%)", label, missOn, missOff)
+		}
+		maxqOff := cellFloat(t, tb.Cell(row, 10))
+		maxqOn := cellFloat(t, tb.Cell(row, 11))
+		if maxqOn > 12 {
+			t.Errorf("%s: admission queue high-water %v exceeds the limit 12", label, maxqOn)
+		}
+		if maxqOff <= maxqOn {
+			t.Errorf("%s: unbounded backlog (%v) not above bounded (%v)", label, maxqOff, maxqOn)
+		}
+		// At 16 shards the served tail must stay in the same regime (the
+		// SLO win is the miss rate above; this guards against admission
+		// making the tail meaningfully worse).
+		if p99Off, p99On := cellFloat(t, tb.Cell(row, 5)), cellFloat(t, tb.Cell(row, 6)); p99On > 1.25*p99Off {
+			t.Errorf("%s: admission inflated the served ls p99 (%v -> %v µs)", label, p99Off, p99On)
+		}
+	}
+	// The per-shard ledgers carry one row per shard.
+	for _, ledger := range r.Tables[1:3] {
+		if ledger.Rows() != 16 {
+			t.Fatalf("shard ledger has %d rows, want 16", ledger.Rows())
 		}
 	}
 }

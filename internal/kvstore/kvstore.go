@@ -59,6 +59,12 @@ type Config struct {
 	MetaMode MetaMode
 	// AtomicDevice is the device handle for MetaAtomic (nil otherwise).
 	AtomicDevice *ssd.Device
+	// AtomicBase offsets MetaAtomic slot LPNs into the device's absolute
+	// address space. A store owning a whole device leaves it zero; a
+	// shard carved out of a shared device sets it to the shard's page
+	// region base, because the atomic command addresses the device while
+	// the shard's page store is region-relative.
+	AtomicBase int64
 	// TrimFreed sends TRIM for pages freed by checkpoints (the
 	// progressive stack does; a conservative 2008-era stack did not).
 	TrimFreed bool
@@ -197,7 +203,7 @@ func (s *Store) writeMeta(p *sim.Proc) error {
 	slot := int64(s.metaVer % metaPages)
 	if s.cfg.MetaMode == MetaAtomic {
 		// One atomic command; the safe buffer makes it durable.
-		return core.AtomicWrite(p, s.cfg.AtomicDevice, []int64{slot}, [][]byte{buf})
+		return core.AtomicWrite(p, s.cfg.AtomicDevice, []int64{s.cfg.AtomicBase + slot}, [][]byte{buf})
 	}
 	// Double-write discipline: write the slot, then flush so a torn
 	// write cannot destroy both generations.

@@ -17,13 +17,18 @@ type System struct {
 	Store *Store
 	Core  *core.Store
 
-	eng      *sim.Engine
-	flash    ssd.Dev
-	membus   *pcm.MemBus // nil for the conservative assembly
-	logSize  int64
-	cpus     int
-	cfg      Config
-	pcmStack bool
+	eng   *sim.Engine
+	flash ssd.Dev
+
+	// rebuild reopens the same assembly from surviving media (the host
+	// half of a crash). Every builder installs one, so shard flavors and
+	// whole-device flavors share the crash machinery.
+	rebuild func(p *sim.Proc) (*System, error)
+
+	// ownsDevice reports whether Crash may drop the device's volatile
+	// state. Shard systems share their device with siblings, so the
+	// owning Fabric crashes the device once for all of them.
+	ownsDevice bool
 }
 
 // BuildConservative assembles the baseline: one flash device behind the
@@ -41,10 +46,11 @@ func BuildConservative(p *sim.Proc, eng *sim.Engine, flash ssd.Dev, logPages int
 	if err != nil {
 		return nil, err
 	}
-	return &System{
-		Store: st, Core: cs, eng: eng, flash: flash,
-		logSize: logPages, cpus: cpus, cfg: cfg,
-	}, nil
+	sys := &System{Store: st, Core: cs, eng: eng, flash: flash, ownsDevice: true}
+	sys.rebuild = func(p *sim.Proc) (*System, error) {
+		return BuildConservative(p, eng, flash, logPages, cpus, cfg)
+	}
+	return sys, nil
 }
 
 // BuildProgressive assembles the paper's stack: WAL on memory-bus PCM,
@@ -62,10 +68,11 @@ func BuildProgressive(p *sim.Proc, eng *sim.Engine, flash *ssd.Device, membus *p
 	if err != nil {
 		return nil, err
 	}
-	return &System{
-		Store: st, Core: cs, eng: eng, flash: flash, membus: membus,
-		logSize: logBytes, cpus: cpus, cfg: cfg, pcmStack: true,
-	}, nil
+	sys := &System{Store: st, Core: cs, eng: eng, flash: flash, ownsDevice: true}
+	sys.rebuild = func(p *sim.Proc) (*System, error) {
+		return BuildProgressive(p, eng, flash, membus, logBytes, cpus, cfg)
+	}
+	return sys, nil
 }
 
 // Crash models power loss and restart: volatile device state is
@@ -73,25 +80,31 @@ func BuildProgressive(p *sim.Proc, eng *sim.Engine, flash *ssd.Device, membus *p
 // from the surviving media, running recovery. The old System must not
 // be used afterwards. It returns the LPNs the device lost from a
 // volatile write cache (nil for safe buffers).
+//
+// Shard systems built over a shared device (BuildShard*) must not be
+// crashed individually — dropping the shared device's volatile state
+// would silently corrupt sibling shards still holding host state. Their
+// Fabric crashes the device once and Reopens every shard.
 func (sys *System) Crash(p *sim.Proc) (*System, []int64, error) {
-	sys.Store.closed = true
+	if !sys.ownsDevice {
+		return nil, nil, fmt.Errorf("kvstore: shard system shares its device; crash the fabric instead")
+	}
 	var lost []int64
 	if d, ok := sys.flash.(*ssd.Device); ok {
 		lost = d.Crash()
 	}
-	var fresh *System
-	var err error
-	if sys.pcmStack {
-		d, ok := sys.flash.(*ssd.Device)
-		if !ok {
-			return nil, nil, fmt.Errorf("kvstore: progressive system without extended device")
-		}
-		fresh, err = BuildProgressive(p, sys.eng, d, sys.membus, sys.logSize, sys.cpus, sys.cfg)
-	} else {
-		fresh, err = BuildConservative(p, sys.eng, sys.flash, sys.logSize, sys.cpus, sys.cfg)
-	}
+	fresh, err := sys.Reopen(p)
 	if err != nil {
 		return nil, lost, err
 	}
 	return fresh, lost, nil
+}
+
+// Reopen forgets all host memory and reopens the same assembly from the
+// surviving media, running recovery. Unlike Crash it leaves the device's
+// volatile state alone: callers orchestrating a multi-shard crash drop
+// the device state once, then Reopen each shard.
+func (sys *System) Reopen(p *sim.Proc) (*System, error) {
+	sys.Store.closed = true
+	return sys.rebuild(p)
 }

@@ -291,3 +291,42 @@ func TestTenantLatenciesMergeAndReset(t *testing.T) {
 		t.Fatal("reset must clear samples but keep tenants")
 	}
 }
+
+func TestShardStats(t *testing.T) {
+	s := NewShardStats()
+	a := s.Shard("shard0")
+	a.Submitted, a.Admitted, a.Rejected, a.Served, a.DeadlineMissed, a.MaxQueue = 10, 8, 2, 8, 4, 5
+	b := s.Shard("shard1")
+	b.Submitted, b.Admitted, b.Served, b.MaxQueue = 4, 4, 4, 9
+	if got := s.Shards(); len(got) != 2 || got[0] != "shard0" || got[1] != "shard1" {
+		t.Fatalf("shard order %v", got)
+	}
+	if s.Shard("shard0") != a {
+		t.Fatal("lookup did not return the same counters")
+	}
+	tot := s.Totals()
+	if tot.Submitted != 14 || tot.Rejected != 2 || tot.Served != 12 {
+		t.Fatalf("totals %+v", tot)
+	}
+	if tot.MaxQueue != 9 {
+		t.Fatalf("totals MaxQueue = %d, want max across shards", tot.MaxQueue)
+	}
+	if r := a.RejectRate(); r != 0.2 {
+		t.Fatalf("reject rate %v, want 0.2", r)
+	}
+	if m := a.MissRate(); m != 0.5 {
+		t.Fatalf("miss rate %v, want 0.5", m)
+	}
+	var zero ShardCounters
+	if zero.RejectRate() != 0 || zero.MissRate() != 0 {
+		t.Fatal("zero counters must not divide by zero")
+	}
+	tbl := s.Table("shards")
+	if tbl.Rows() != 3 {
+		t.Fatalf("table rows = %d, want 2 shards + totals", tbl.Rows())
+	}
+	s.Reset()
+	if s.Totals().Submitted != 0 || len(s.Shards()) != 2 {
+		t.Fatal("reset must zero counters but keep the shard set")
+	}
+}

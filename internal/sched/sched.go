@@ -10,6 +10,9 @@
 //   - weighted deficit-round-robin fair queueing across tenants, so one
 //     noisy neighbor cannot monopolize the device queue;
 //   - token-bucket rate caps per tenant, for hard QoS ceilings;
+//   - per-tenant queue limits with reject callbacks, so admission
+//     control (package serve) can turn overload into immediate,
+//     accountable rejects instead of silent backlog growth;
 //   - a GC-aware mode that consumes the device-to-host GC-activity
 //     notifications (the communication abstraction at work) and defers
 //     throughput-class dispatches while the device is relocating data
@@ -76,6 +79,79 @@ func DefaultConfig() Config {
 	return Config{Quantum: 1, GCAware: true, GCDeferLimit: 2 * sim.Millisecond}
 }
 
+// TokenBucket is a virtual-time token bucket: rate tokens per second up
+// to a burst cap, starting full. It is the admission currency shared by
+// tenant rate caps here and shard-boundary admission control (package
+// serve). The zero value is inactive: never empty, never refilled.
+type TokenBucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   sim.Time
+}
+
+// NewTokenBucket returns a full bucket refilling at rate tokens/sec up
+// to burst (minimum 1). rate <= 0 yields an inactive bucket.
+func NewTokenBucket(rate float64, burst int, now sim.Time) TokenBucket {
+	if rate <= 0 {
+		return TokenBucket{}
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return TokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: now}
+}
+
+// Active reports whether the bucket enforces a rate.
+func (b *TokenBucket) Active() bool { return b.rate > 0 }
+
+// Refill tops the bucket up to now. Refilling at or before the last
+// refill instant mints nothing.
+func (b *TokenBucket) Refill(now sim.Time) {
+	if b.rate == 0 || now <= b.last {
+		return
+	}
+	b.tokens += b.rate * (now - b.last).Seconds()
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+}
+
+// Tokens reports the balance after refilling to now.
+func (b *TokenBucket) Tokens(now sim.Time) float64 {
+	b.Refill(now)
+	return b.tokens
+}
+
+// Take consumes one token (callers gate on Tokens first).
+func (b *TokenBucket) Take() {
+	if b.rate > 0 {
+		b.tokens--
+	}
+}
+
+// TryTake consumes one token if available, reporting success. An
+// inactive bucket always succeeds.
+func (b *TokenBucket) TryTake(now sim.Time) bool {
+	if b.rate == 0 {
+		return true
+	}
+	b.Refill(now)
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// WakeAt reports the instant the bucket will next hold a whole token
+// (call only on an active bucket that is currently short).
+func (b *TokenBucket) WakeAt(now sim.Time) sim.Time {
+	need := 1 - b.tokens
+	return now + sim.Time(need/b.rate*float64(sim.Second)) + 1
+}
+
 // request is one queued dispatch.
 type request struct {
 	cost       int
@@ -93,18 +169,24 @@ type Tenant struct {
 	class  Class
 	weight int
 
-	deficit int
-	q       []request
+	deficit     int
+	q           []request
+	backlogCost int // queued cost units (sum of q[i].cost)
 
-	// Token-bucket rate cap (ops/sec); rate 0 means uncapped.
-	rate       float64
-	burst      float64
-	tokens     float64
-	lastRefill sim.Time
+	// Admission control: queueLimit bounds the queue (ops); enqueues
+	// past it are rejected instead of silently backlogged, and onReject
+	// runs once per rejection.
+	queueLimit int
+	onReject   func()
+
+	// Token-bucket rate cap (ops/sec); an inactive bucket is uncapped.
+	bucket TokenBucket
 
 	// Enqueued and Dispatched count requests through this tenant.
 	Enqueued   int64
 	Dispatched int64
+	// Rejected counts enqueues refused by the queue limit.
+	Rejected int64
 	// Wait records per-request queue delay (enqueue to dispatch) in
 	// nanoseconds.
 	Wait metrics.Histogram
@@ -119,35 +201,45 @@ func (t *Tenant) Class() Class { return t.class }
 // Weight returns the tenant's fair-share weight.
 func (t *Tenant) Weight() int { return t.weight }
 
-// Backlog reports the tenant's queued request count.
-func (t *Tenant) Backlog() int { return len(t.q) }
+// Backlog reports the tenant's queued work in cost units (the same
+// units deficit round robin arbitrates), so a backlog of expensive
+// writes and a backlog of cheap reads compare honestly. BacklogOps
+// reports the op count.
+func (t *Tenant) Backlog() int { return t.backlogCost }
+
+// BacklogOps reports the tenant's queued request count.
+func (t *Tenant) BacklogOps() int { return len(t.q) }
+
+// SetQueueLimit bounds the tenant's queue to n requests; further
+// enqueues are rejected (Enqueue returns false) until dispatches drain
+// the queue below the limit. n <= 0 removes the bound. Combined with
+// SetRateLimit this is admission control: an empty token bucket stalls
+// the queue, the limit turns the resulting overflow into immediate
+// rejects instead of silent backlog.
+func (t *Tenant) SetQueueLimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	t.queueLimit = n
+}
+
+// QueueLimit reports the tenant's queue bound (0 = unbounded).
+func (t *Tenant) QueueLimit() int { return t.queueLimit }
+
+// OnReject registers a callback invoked once per rejected enqueue
+// (admission-control accounting hooks).
+func (t *Tenant) OnReject(fn func()) { t.onReject = fn }
+
+// Tokens reports the tenant's current rate-cap token balance after
+// refilling to now (meaningless when no rate limit is set).
+func (t *Tenant) Tokens() float64 {
+	return t.bucket.Tokens(t.s.eng.Now())
+}
 
 // SetRateLimit caps the tenant at opsPerSec with the given burst
 // allowance (ops). opsPerSec <= 0 removes the cap.
 func (t *Tenant) SetRateLimit(opsPerSec float64, burst int) {
-	if opsPerSec <= 0 {
-		t.rate = 0
-		return
-	}
-	if burst < 1 {
-		burst = 1
-	}
-	t.rate = opsPerSec
-	t.burst = float64(burst)
-	t.tokens = t.burst
-	t.lastRefill = t.s.eng.Now()
-}
-
-// refill tops the token bucket up to now.
-func (t *Tenant) refill(now sim.Time) {
-	if t.rate == 0 || now <= t.lastRefill {
-		return
-	}
-	t.tokens += t.rate * (now - t.lastRefill).Seconds()
-	if t.tokens > t.burst {
-		t.tokens = t.burst
-	}
-	t.lastRefill = now
+	t.bucket = NewTokenBucket(opsPerSec, burst, t.s.eng.Now())
 }
 
 // Scheduler arbitrates tenant-tagged requests onto a single downstream
@@ -195,7 +287,8 @@ func (s *Scheduler) AddTenant(name string, class Class, weight int) *Tenant {
 // Tenants returns the registered tenants in registration order.
 func (s *Scheduler) Tenants() []*Tenant { return s.tenants }
 
-// Backlog reports the total queued request count.
+// Backlog reports the total queued request count across tenants (ops,
+// not cost units; see Tenant.Backlog for per-tenant cost backlog).
 func (s *Scheduler) Backlog() int { return s.backlog }
 
 // SetKick registers the callback invoked when previously ineligible
@@ -221,27 +314,37 @@ func (s *Scheduler) GCActiveChips() int { return s.gcChips }
 
 // Enqueue adds one request for tenant t. cost is the request's size in
 // scheduling units (1 for a page I/O); dispatch runs when the scheduler
-// selects the request via Next.
-func (s *Scheduler) Enqueue(t *Tenant, cost int, dispatch func()) {
+// selects the request via Next. It reports whether the request was
+// admitted: a tenant at its queue limit rejects instead of queueing
+// (dispatch will never run; the caller must fail the request upward).
+func (s *Scheduler) Enqueue(t *Tenant, cost int, dispatch func()) bool {
 	if cost < 1 {
 		cost = 1
 	}
+	if t.queueLimit > 0 && len(t.q) >= t.queueLimit {
+		t.Rejected++
+		if t.onReject != nil {
+			t.onReject()
+		}
+		return false
+	}
 	t.q = append(t.q, request{cost: cost, at: s.eng.Now(), dispatch: dispatch})
+	t.backlogCost += cost
 	t.Enqueued++
 	s.backlog++
 	if t.class == LatencySensitive {
 		s.latencyBacklog++
 	}
+	return true
 }
 
 // eligible reports whether tenant t's head request may dispatch now.
 func (s *Scheduler) eligible(t *Tenant, now sim.Time) bool {
 	head := &t.q[0]
-	t.refill(now)
 	// The bucket is in ops, not DRR cost units: a rate cap promises
 	// "this many requests per second" regardless of how expensively
 	// each request is billed to the fair-queueing deficit.
-	if t.rate > 0 && t.tokens < 1 {
+	if t.bucket.Active() && t.bucket.Tokens(now) < 1 {
 		return false
 	}
 	if s.cfg.GCAware && s.gcChips > 0 && t.class == Throughput && s.latencyBacklog > 0 {
@@ -264,14 +367,13 @@ func (s *Scheduler) eligible(t *Tenant, now sim.Time) bool {
 func (s *Scheduler) pop(t *Tenant, now sim.Time) request {
 	head := t.q[0]
 	t.q = t.q[0:copy(t.q, t.q[1:])]
+	t.backlogCost -= head.cost
 	if len(t.q) == 0 {
 		// Standard DRR: an idling tenant forfeits its deficit, so credit
 		// cannot be hoarded across idle periods.
 		t.deficit = 0
 	}
-	if t.rate > 0 {
-		t.tokens--
-	}
+	t.bucket.Take()
 	t.Dispatched++
 	t.Wait.Record(int64(now - head.at))
 	s.backlog--
@@ -355,10 +457,8 @@ func (s *Scheduler) armWakeup(now sim.Time) {
 			continue
 		}
 		head := &t.q[0]
-		if t.rate > 0 && t.tokens < 1 {
-			need := 1 - t.tokens
-			at := now + sim.Time(need/t.rate*float64(sim.Second)) + 1
-			if at < wake {
+		if t.bucket.Active() && t.bucket.Tokens(now) < 1 {
+			if at := t.bucket.WakeAt(now); at < wake {
 				wake = at
 			}
 		}
@@ -381,9 +481,9 @@ func (s *Scheduler) armWakeup(now sim.Time) {
 // WaitTable renders each tenant's queue-wait distribution, for
 // experiment output.
 func (s *Scheduler) WaitTable(title string) *metrics.Table {
-	t := metrics.NewTable(title, "tenant", "class", "weight", "enq", "disp", "wait p50 (µs)", "wait p99 (µs)")
+	t := metrics.NewTable(title, "tenant", "class", "weight", "enq", "rej", "disp", "wait p50 (µs)", "wait p99 (µs)")
 	for _, tn := range s.tenants {
-		t.AddRow(tn.name, tn.class.String(), tn.weight, tn.Enqueued, tn.Dispatched,
+		t.AddRow(tn.name, tn.class.String(), tn.weight, tn.Enqueued, tn.Rejected, tn.Dispatched,
 			fmt.Sprintf("%.1f", float64(tn.Wait.P50())/1e3),
 			fmt.Sprintf("%.1f", float64(tn.Wait.P99())/1e3))
 	}

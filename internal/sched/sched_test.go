@@ -277,6 +277,120 @@ func TestLargeCostDispatchesFromIdle(t *testing.T) {
 	}
 }
 
+func TestEnqueuePastLimitRejected(t *testing.T) {
+	eng := sim.NewEngine()
+	sc := New(eng, DefaultConfig())
+	a := sc.AddTenant("a", Throughput, 1)
+	a.SetQueueLimit(4)
+	rejects := 0
+	a.OnReject(func() { rejects++ })
+	// No rig attached: nothing drains, so the 5th..10th enqueues must be
+	// rejected, not backlogged.
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if sc.Enqueue(a, 3, func() {}) {
+			admitted++
+		}
+	}
+	if admitted != 4 || a.Enqueued != 4 {
+		t.Fatalf("admitted %d (counter %d), want 4", admitted, a.Enqueued)
+	}
+	if a.Rejected != 6 || rejects != 6 {
+		t.Fatalf("rejected %d (callback %d), want 6", a.Rejected, rejects)
+	}
+	if a.BacklogOps() != 4 {
+		t.Fatalf("backlog ops %d, want 4", a.BacklogOps())
+	}
+	// Backlog reports cost units, not ops: 4 requests at cost 3.
+	if a.Backlog() != 12 {
+		t.Fatalf("backlog cost %d, want 12", a.Backlog())
+	}
+	if sc.Backlog() != 4 {
+		t.Fatalf("scheduler backlog (ops) %d, want 4", sc.Backlog())
+	}
+	// Draining one slot readmits exactly one request.
+	if d, ok := sc.Next(); !ok {
+		t.Fatal("nothing dispatchable")
+	} else {
+		d()
+	}
+	if a.Backlog() != 9 {
+		t.Fatalf("backlog cost after pop %d, want 9", a.Backlog())
+	}
+	if !sc.Enqueue(a, 1, func() {}) {
+		t.Fatal("enqueue below restored limit rejected")
+	}
+	if sc.Enqueue(a, 1, func() {}) {
+		t.Fatal("enqueue at restored limit admitted")
+	}
+}
+
+func TestQueueLimitComposesWithRateCap(t *testing.T) {
+	eng := sim.NewEngine()
+	sc := New(eng, DefaultConfig())
+	capped := sc.AddTenant("capped", Throughput, 1)
+	capped.SetRateLimit(1000, 1) // 1 op/ms
+	capped.SetQueueLimit(2)
+	r := newRig(eng, sc, 8, 1*sim.Microsecond)
+	// Admission control over an empty bucket: the queue absorbs up to
+	// its limit while tokens refill; overflow is rejected immediately
+	// instead of growing the backlog.
+	r.enqueueN(capped, 20)
+	if capped.Rejected == 0 {
+		t.Fatal("no rejects despite empty bucket and full queue")
+	}
+	if capped.BacklogOps() > 2 {
+		t.Fatalf("backlog %d exceeds queue limit 2", capped.BacklogOps())
+	}
+	eng.RunUntil(10 * sim.Millisecond)
+	// ~1 op/ms for 10ms plus the burst: the admitted requests drain on
+	// the bucket's schedule; rejected ones never run.
+	if capped.Dispatched+int64(capped.BacklogOps()) != capped.Enqueued {
+		t.Fatalf("admitted %d != dispatched %d + queued %d",
+			capped.Enqueued, capped.Dispatched, capped.BacklogOps())
+	}
+}
+
+func TestRateRefillAtTimeBoundaries(t *testing.T) {
+	eng := sim.NewEngine()
+	sc := New(eng, DefaultConfig())
+	a := sc.AddTenant("a", Throughput, 1)
+	a.SetRateLimit(1000, 1) // exactly one token per millisecond
+	r := newRig(eng, sc, 8, 1*sim.Microsecond)
+	r.enqueueN(a, 3)
+	r.pump()
+
+	// t=0: only the burst token dispatches.
+	if a.Dispatched != 1 {
+		t.Fatalf("at t=0 dispatched %d, want 1 (burst)", a.Dispatched)
+	}
+	// Just before the refill boundary nothing more may run; just after
+	// it exactly one more op does. The armed wake-up timer must land in
+	// (1ms, ~1ms+ε], not at the boundary's open edge.
+	eng.RunUntil(999 * sim.Microsecond)
+	if a.Dispatched != 1 {
+		t.Fatalf("before 1ms boundary dispatched %d, want 1", a.Dispatched)
+	}
+	eng.RunUntil(1100 * sim.Microsecond)
+	if a.Dispatched != 2 {
+		t.Fatalf("after 1ms boundary dispatched %d, want 2", a.Dispatched)
+	}
+	eng.RunUntil(2100 * sim.Microsecond)
+	if a.Dispatched != 3 {
+		t.Fatalf("after 2ms boundary dispatched %d, want 3", a.Dispatched)
+	}
+
+	// Refill at the same instant is a no-op (now <= lastRefill must not
+	// mint tokens), and long idling clamps at the burst, not rate×idle.
+	if got := a.Tokens(); got >= 1 {
+		t.Fatalf("tokens %v immediately after dispatch, want < 1", got)
+	}
+	eng.RunUntil(50 * sim.Millisecond)
+	if got := a.Tokens(); got != 1 {
+		t.Fatalf("tokens after long idle = %v, want clamped at burst 1", got)
+	}
+}
+
 func TestRateCapCountsOpsNotCost(t *testing.T) {
 	eng := sim.NewEngine()
 	sc := New(eng, DefaultConfig())

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/kvstore"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Frontend is the client-facing edge of the fabric: it hash-routes keys
+// to shards and drives client populations from workload.TenantSpec
+// mixes. Keys are "userNNNNNNNN" over [0, Keys).
+type Frontend struct {
+	fab *Fabric
+	// Keys is the frontend's key-space size.
+	Keys int64
+	// ValueSize is the payload per written key.
+	ValueSize int
+	// ScanLimit bounds scan requests issued for sequential-read tenants.
+	ScanLimit int
+	// RejectBackoff is how long a closed-loop client sleeps after an
+	// admission reject before its next request (retry storms otherwise
+	// collapse virtual time to a busy loop).
+	RejectBackoff sim.Time
+}
+
+// NewFrontend builds a frontend over fab with the given key space.
+func NewFrontend(fab *Fabric, keys int64, valueSize int) *Frontend {
+	if keys < 1 {
+		keys = 1
+	}
+	if valueSize <= 0 {
+		valueSize = 64
+	}
+	return &Frontend{
+		fab:           fab,
+		Keys:          keys,
+		ValueSize:     valueSize,
+		ScanLimit:     32,
+		RejectBackoff: 100 * sim.Microsecond,
+	}
+}
+
+// Key renders key index i.
+func (f *Frontend) Key(i int64) []byte {
+	return []byte(fmt.Sprintf("user%08d", i))
+}
+
+// ShardFor routes a key to its shard (FNV-1a over the key bytes).
+func (f *Frontend) ShardFor(key []byte) *Shard {
+	h := fnv.New32a()
+	h.Write(key)
+	return f.fab.shards[h.Sum32()%uint32(len(f.fab.shards))]
+}
+
+// Submit routes op to its key's shard through admission control.
+func (f *Frontend) Submit(op Op, done func(error)) {
+	f.ShardFor(op.Key).Submit(op, done)
+}
+
+// do submits op and blocks the calling process until it settles.
+func (f *Frontend) do(p *sim.Proc, op Op) error {
+	c := sim.NewCond(p.Engine())
+	var oerr error
+	f.Submit(op, func(err error) {
+		oerr = err
+		c.Fire()
+	})
+	c.Await(p)
+	return oerr
+}
+
+// Get point-reads key index i through admission (a missing key is not
+// an error).
+func (f *Frontend) Get(p *sim.Proc, i int64) error {
+	return f.do(p, Op{Kind: OpGet, Key: f.Key(i), Class: sched.LatencySensitive})
+}
+
+// Put upserts key index i through admission.
+func (f *Frontend) Put(p *sim.Proc, i int64, value []byte) error {
+	return f.do(p, Op{Kind: OpPut, Key: f.Key(i), Value: value, Class: sched.Throughput})
+}
+
+// Scan runs a bounded scan on key index i's shard through admission.
+func (f *Frontend) Scan(p *sim.Proc, i int64, limit int) error {
+	return f.do(p, Op{Kind: OpScan, Key: f.Key(i), ScanLimit: limit, Class: sched.Throughput})
+}
+
+// valueFor builds key i's deterministic payload.
+func (f *Frontend) valueFor(i int64) []byte {
+	v := make([]byte, f.ValueSize)
+	for j := range v {
+		v[j] = byte(int64(j) + i)
+	}
+	return v
+}
+
+// Preload writes every key once, straight into the shard stores
+// (bypassing admission), and checkpoints each shard so a measurement
+// window starts from a warm tree on flash instead of an empty memtable
+// that would serve reads without any device I/O. Call before Drive,
+// from a simulated process, with no concurrent clients.
+func (f *Frontend) Preload(p *sim.Proc) error {
+	const batch = 8
+	txns := make([]*kvstore.Txn, len(f.fab.shards))
+	counts := make([]int, len(f.fab.shards))
+	for i := int64(0); i < f.Keys; i++ {
+		key := f.Key(i)
+		sh := f.ShardFor(key)
+		if txns[sh.idx] == nil {
+			txns[sh.idx] = sh.sys.Store.Begin()
+		}
+		txns[sh.idx].Put(key, f.valueFor(i))
+		if counts[sh.idx]++; counts[sh.idx]%batch == 0 {
+			if err := txns[sh.idx].Commit(p); err != nil {
+				return fmt.Errorf("serve: preload shard %d: %w", sh.idx, err)
+			}
+			txns[sh.idx] = nil
+		}
+	}
+	for idx, tx := range txns {
+		if tx != nil {
+			if err := tx.Commit(p); err != nil {
+				return fmt.Errorf("serve: preload shard %d: %w", idx, err)
+			}
+		}
+	}
+	for _, sh := range f.fab.shards {
+		if err := sh.sys.Store.Checkpoint(p); err != nil {
+			return fmt.Errorf("serve: preload checkpoint shard %d: %w", sh.idx, err)
+		}
+	}
+	return nil
+}
+
+// opFor maps one generated access to a serving request. Sequential
+// reads from throughput tenants become bounded scans (the analytics
+// stream of ScanHeavyMix); everything else maps read→get, write→put.
+func (f *Frontend) opFor(spec *workload.TenantSpec, a workload.Access) Op {
+	class := sched.Throughput
+	if spec.LatencySensitive {
+		class = sched.LatencySensitive
+	}
+	if a.Kind == workload.Write {
+		return Op{Kind: OpPut, Key: f.Key(a.LPN), Value: f.valueFor(a.LPN), Class: class}
+	}
+	if spec.Pattern == workload.SR && !spec.LatencySensitive {
+		return Op{Kind: OpScan, Key: f.Key(a.LPN), ScanLimit: f.ScanLimit, Class: class}
+	}
+	return Op{Kind: OpGet, Key: f.Key(a.LPN), Class: class}
+}
+
+// Drive spawns client processes for the tenant mix over the fabric and
+// returns immediately; clients stop issuing at horizon. Served-request
+// latencies are recorded per tenant into lat (rejected and dropped
+// requests appear only in ShardStats — they never occupied the
+// system). Open-loop tenants (ThinkTime > 0) issue on the clock
+// regardless of completions; closed-loop tenants run Depth concurrent
+// request loops and back off RejectBackoff after a reject.
+func (f *Frontend) Drive(specs []workload.TenantSpec, horizon sim.Time, lat *metrics.TenantLatencies) error {
+	eng := f.fab.eng
+	for i := range specs {
+		spec := specs[i]
+		gen, err := workload.NewTenantGenerator(spec, f.Keys)
+		if err != nil {
+			return err
+		}
+		if spec.ThinkTime > 0 {
+			eng.Go(func(p *sim.Proc) {
+				for p.Now() < horizon {
+					op := f.opFor(&spec, gen.Next())
+					t0 := p.Now()
+					f.Submit(op, func(err error) {
+						if err == nil {
+							lat.Record(spec.Name, int64(eng.Now()-t0))
+						}
+					})
+					p.Sleep(spec.ThinkTime)
+				}
+			})
+			continue
+		}
+		for d := 0; d < spec.Depth; d++ {
+			eng.Go(func(p *sim.Proc) {
+				for p.Now() < horizon {
+					op := f.opFor(&spec, gen.Next())
+					t0 := p.Now()
+					err := f.do(p, op)
+					switch err {
+					case nil:
+						lat.Record(spec.Name, int64(p.Now()-t0))
+					case ErrRejected, ErrCrashed:
+						// Crashed requests are lost, not fatal: the fabric
+						// reopens and the client population must survive it.
+						p.Sleep(f.RejectBackoff)
+					case ErrStopped:
+						return
+					default:
+						// Engine error: recorded in Fabric.Errors; keep
+						// driving so one failure does not idle the client.
+						p.Sleep(f.RejectBackoff)
+					}
+				}
+			})
+		}
+	}
+	return nil
+}

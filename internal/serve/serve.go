@@ -1,0 +1,398 @@
+// Package serve is the sharded multi-tenant KV serving fabric: the
+// layer that turns "storage stacks under a synthetic driver" into a
+// servable system. A Fabric owns one or more flash devices, each behind
+// one block-layer stack with an attached multi-tenant scheduler, and
+// carves N Shards out of them — each shard a full kvstore.System
+// (WAL + copy-on-write B+tree) registered as its own scheduler tenant,
+// so the device-level arbiter isolates shards from each other's I/O. A
+// Frontend hash-routes keys to shards and drives client populations
+// from workload.TenantSpec mixes.
+//
+// The fabric enforces per-shard SLOs at admission time, where the paper
+// says policy belongs once host and device are communicating peers:
+// each shard has a bounded request queue and a token-bucket arrival
+// cap, and overload turns into immediate, accountable rejects instead
+// of silent backlog growth; served requests that outlive their class
+// deadline are counted as misses. metrics.ShardStats carries the
+// admission ledger next to metrics.TenantLatencies' latency ledger.
+// Experiment E16 measures what that buys under overload.
+package serve
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/blockdev"
+	"repro/internal/kvstore"
+	"repro/internal/metrics"
+	"repro/internal/pcm"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+// Package errors.
+var (
+	// ErrRejected reports a request refused at shard admission (queue
+	// full or token bucket empty).
+	ErrRejected = errors.New("serve: admission rejected")
+	// ErrStopped reports a request arriving at, or abandoned by, a
+	// stopped fabric.
+	ErrStopped = errors.New("serve: fabric stopped")
+	// ErrCrashed reports a request lost to a fabric crash (queued at the
+	// moment of power loss, or arriving during recovery). Unlike
+	// ErrStopped, serving resumes: clients should back off and retry.
+	ErrCrashed = errors.New("serve: request lost to fabric crash")
+)
+
+// AdmissionConfig bounds a shard's request queue. The zero value
+// disables admission control (requests backlog without limit — the
+// baseline E16 measures against).
+type AdmissionConfig struct {
+	// Enabled turns admission control on.
+	Enabled bool
+	// QueueLimit is the per-shard queued-request bound; arrivals past it
+	// are rejected immediately. Zero means 64.
+	QueueLimit int
+	// LatencyDeadline and ThroughputDeadline are the per-class
+	// completion targets: a served request whose end-to-end time exceeds
+	// its class deadline counts as a deadline miss. Zeros mean 2ms and
+	// 20ms.
+	LatencyDeadline    sim.Time
+	ThroughputDeadline sim.Time
+	// Rate caps per-shard admitted throughput (requests/sec) with a
+	// token bucket of Burst tokens; an empty bucket rejects immediately
+	// rather than queueing. Zero Rate means uncapped.
+	Rate  float64
+	Burst int
+}
+
+// Config parameterizes a Fabric.
+type Config struct {
+	// Shards is the number of KV shards (minimum 1).
+	Shards int
+	// Devices is the number of flash devices shards are spread over,
+	// round-robin (0 = 1).
+	Devices int
+	// Mode selects the submission path of every device's stack.
+	Mode blockdev.Mode
+	// DeviceOptions scales the flash devices (preset Enterprise2012;
+	// BufferPages < 0 drops the safe buffer, which also forfeits the
+	// progressive assembly's atomic meta writes).
+	DeviceOptions ssd.Options
+	// Scheduled attaches a sched.Scheduler per device, one tenant per
+	// shard, with device GC notifications wired in.
+	Scheduled bool
+	// Sched tunes the per-device scheduler (zero = sched.DefaultConfig).
+	Sched sched.Config
+	// WriteCost is the DRR billing for writes vs reads on the scheduled
+	// path (zero = blockdev default).
+	WriteCost int
+	// QueueDepth bounds requests outstanding at each device (zero =
+	// blockdev default).
+	QueueDepth int
+	// Progressive assembles shards the paper's way: WAL on shared
+	// memory-bus PCM, atomic meta flips, trims. Otherwise each shard's
+	// WAL lives in the first LogPages of its flash region behind the
+	// stack (the conservative assembly).
+	Progressive bool
+	// LogPages is the conservative per-shard WAL region (0 = 24 pages).
+	LogPages int64
+	// LogBytes is the progressive per-shard PCM WAL region (0 = 128 KiB).
+	LogBytes int64
+	// WorkersPerShard is each shard's serving concurrency (0 = 2).
+	WorkersPerShard int
+	// ServeCost is the CPU time a worker spends on each request outside
+	// storage I/O — parsing, routing, serialization (0 = 2µs). It also
+	// keeps virtual time honest: a request served entirely from cache
+	// must not be free, or closed-loop clients would spin the simulation
+	// at one instant.
+	ServeCost sim.Time
+	// Store tunes each shard's KV engine (meta/trim fields are
+	// overridden by the assembly).
+	Store kvstore.Config
+	// Admission is the shard-boundary admission policy.
+	Admission AdmissionConfig
+}
+
+// deviceGroup is one flash device with its stack and scheduler.
+type deviceGroup struct {
+	dev   ssd.Dev
+	stack *blockdev.Stack
+	sched *sched.Scheduler
+}
+
+// Fabric is the assembled serving system.
+type Fabric struct {
+	eng      *sim.Engine
+	cfg      Config
+	groups   []*deviceGroup
+	shards   []*Shard
+	membus   *pcm.MemBus
+	stats    *metrics.ShardStats
+	shardLat *metrics.TenantLatencies
+	stopped  bool
+	crashing bool
+
+	// Errors counts served requests that failed in the storage engine
+	// (not admission rejects) — should stay zero in a sized fabric.
+	Errors int64
+}
+
+// New assembles a fabric on eng. It must be called from a simulated
+// process (shard recovery does I/O). Serving starts immediately:
+// WorkersPerShard processes per shard pull from the admission queues
+// until Stop.
+func New(p *sim.Proc, eng *sim.Engine, cfg Config) (*Fabric, error) {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Devices < 1 {
+		cfg.Devices = 1
+	}
+	if cfg.Devices > cfg.Shards {
+		cfg.Devices = cfg.Shards
+	}
+	if cfg.WorkersPerShard < 1 {
+		cfg.WorkersPerShard = 2
+	}
+	if cfg.ServeCost <= 0 {
+		cfg.ServeCost = 2 * sim.Microsecond
+	}
+	if cfg.LogPages <= 0 {
+		cfg.LogPages = 24
+	}
+	if cfg.LogBytes <= 0 {
+		cfg.LogBytes = 128 << 10
+	}
+	if cfg.Admission.QueueLimit <= 0 {
+		cfg.Admission.QueueLimit = 64
+	}
+	if cfg.Admission.LatencyDeadline <= 0 {
+		cfg.Admission.LatencyDeadline = 2 * sim.Millisecond
+	}
+	if cfg.Admission.ThroughputDeadline <= 0 {
+		cfg.Admission.ThroughputDeadline = 20 * sim.Millisecond
+	}
+	if cfg.Admission.Burst < 1 {
+		cfg.Admission.Burst = 1
+	}
+	if cfg.Sched == (sched.Config{}) {
+		cfg.Sched = sched.DefaultConfig()
+	}
+
+	f := &Fabric{
+		eng:      eng,
+		cfg:      cfg,
+		stats:    metrics.NewShardStats(),
+		shardLat: metrics.NewTenantLatencies(),
+	}
+
+	preset := ssd.Enterprise2012
+	if cfg.Progressive {
+		// The atomic meta flip needs the safe buffer; PCM WAL regions
+		// share one memory bus.
+		buscfg := pcm.DefaultConfig()
+		need := int64(cfg.Shards) * cfg.LogBytes
+		if buscfg.CapacityBytes < need {
+			buscfg.CapacityBytes = need
+		}
+		pdev, err := pcm.New(eng, "fabric-pcm", buscfg)
+		if err != nil {
+			return nil, err
+		}
+		f.membus = pcm.NewMemBus(eng, pdev)
+	}
+
+	shardsOn := make([]int, cfg.Devices)
+	for i := 0; i < cfg.Shards; i++ {
+		shardsOn[i%cfg.Devices]++
+	}
+	workersPerDevice := (cfg.Shards/cfg.Devices + 1) * cfg.WorkersPerShard
+	for d := 0; d < cfg.Devices; d++ {
+		opts := cfg.DeviceOptions
+		opts.Seed = uint64(d + 1)
+		dev, err := ssd.Build(eng, preset, opts)
+		if err != nil {
+			return nil, err
+		}
+		scfg := blockdev.DefaultConfig(cfg.Mode)
+		scfg.CPUs = workersPerDevice + 2
+		if cfg.QueueDepth > 0 {
+			scfg.QueueDepth = cfg.QueueDepth
+		}
+		scfg.WriteCost = cfg.WriteCost
+		stack, err := blockdev.New(eng, dev, scfg)
+		if err != nil {
+			return nil, err
+		}
+		g := &deviceGroup{dev: dev, stack: stack}
+		if cfg.Scheduled {
+			g.sched = sched.New(eng, cfg.Sched)
+			stack.AttachScheduler(g.sched)
+			if xd, ok := dev.(*ssd.Device); ok {
+				if err := xd.SetGCNotifier(g.sched.SetGCActiveChips); err != nil {
+					return nil, err
+				}
+			}
+		}
+		f.groups = append(f.groups, g)
+	}
+
+	// Carve per-shard regions and open the stores.
+	next := make([]int, cfg.Devices) // shards placed so far per device
+	for i := 0; i < cfg.Shards; i++ {
+		d := i % cfg.Devices
+		g := f.groups[d]
+		span := g.dev.Capacity() / int64(shardsOn[d])
+		region := kvstore.ShardRegion{
+			Base:       int64(next[d]) * span,
+			Span:       span,
+			LogPages:   cfg.LogPages,
+			LogBase:    int64(i) * cfg.LogBytes,
+			LogBytes:   cfg.LogBytes,
+			SubmitCore: next[d] * cfg.WorkersPerShard,
+		}
+		next[d]++
+		name := fmt.Sprintf("shard%d", i)
+		if g.sched != nil {
+			// Every shard serves a hash-slice of every tenant's keys, so
+			// shards are peers: equal weight, latency class (GC deferral
+			// stays a per-request policy, not a per-shard one).
+			region.Tenant = g.sched.AddTenant(name, sched.LatencySensitive, 1)
+		}
+		var sys *kvstore.System
+		var err error
+		if cfg.Progressive {
+			sys, err = kvstore.BuildShardProgressive(p, eng, g.stack, f.membus, region, cfg.Store)
+		} else {
+			sys, err = kvstore.BuildShardConservative(p, eng, g.stack, region, cfg.Store)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		sh := &Shard{
+			fab:    f,
+			idx:    i,
+			name:   name,
+			group:  g,
+			sys:    sys,
+			tenant: region.Tenant,
+			stats:  f.stats.Shard(name),
+			bucket: sched.NewTokenBucket(cfg.Admission.Rate, cfg.Admission.Burst, eng.Now()),
+		}
+		f.shards = append(f.shards, sh)
+		for w := 0; w < cfg.WorkersPerShard; w++ {
+			eng.Go(sh.worker)
+		}
+	}
+	return f, nil
+}
+
+// Engine returns the fabric's simulation engine.
+func (f *Fabric) Engine() *sim.Engine { return f.eng }
+
+// Config returns the fabric configuration after defaulting.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Shards returns the fabric's shards in index order.
+func (f *Fabric) Shards() []*Shard { return f.shards }
+
+// Stats returns the per-shard admission/serving counters.
+func (f *Fabric) Stats() *metrics.ShardStats { return f.stats }
+
+// ShardLatencies returns end-to-end served-request latencies keyed by
+// shard name (the per-shard view; per-tenant views are recorded by
+// Frontend.Drive).
+func (f *Fabric) ShardLatencies() *metrics.TenantLatencies { return f.shardLat }
+
+// ResetStats clears the per-shard counters and latency sets (after a
+// warmup or preload phase).
+func (f *Fabric) ResetStats() {
+	f.stats.Reset()
+	f.shardLat.Reset()
+}
+
+// Scheduler returns device d's scheduler (nil when unscheduled).
+func (f *Fabric) Scheduler(d int) *sched.Scheduler { return f.groups[d].sched }
+
+// Stack returns device d's block-layer stack.
+func (f *Fabric) Stack(d int) *blockdev.Stack { return f.groups[d].stack }
+
+// Devices reports the device count.
+func (f *Fabric) Devices() int { return len(f.groups) }
+
+// Served sums served requests across shards.
+func (f *Fabric) Served() int64 { return f.stats.Totals().Served }
+
+// Stop ends serving: new submissions fail with ErrStopped. With drain
+// set, queued requests are still served before the workers exit;
+// otherwise they are dropped (counted in ShardStats, completed with
+// ErrStopped) so a time-bounded experiment is not distorted by
+// post-horizon queue draining.
+func (f *Fabric) Stop(drain bool) {
+	if f.stopped {
+		return
+	}
+	f.stopped = true
+	for _, sh := range f.shards {
+		if !drain {
+			sh.failBacklog(ErrStopped)
+		}
+		ws := sh.waiters
+		sh.waiters = nil
+		for _, w := range ws {
+			w.Fire()
+		}
+	}
+}
+
+// StopAt schedules Stop(drain) at virtual time at.
+func (f *Fabric) StopAt(at sim.Time, drain bool) {
+	f.eng.Schedule(at, func() { f.Stop(drain) })
+}
+
+// Stopped reports whether the fabric has been stopped.
+func (f *Fabric) Stopped() bool { return f.stopped }
+
+// Crash models whole-fabric power loss and restart: every queued
+// request fails with ErrCrashed, in-flight requests finish (their acks
+// raced the power loss and their writes reached the device first), then
+// every device drops its volatile state once and every shard reopens
+// from the surviving media, running recovery — the kvstore.System crash
+// machinery applied per shard over shared hardware. No shard serves
+// while any sibling is still reopening; submissions during the crash
+// fail with ErrCrashed. Serving resumes once Crash returns.
+func (f *Fabric) Crash(p *sim.Proc) error {
+	f.crashing = true
+	defer func() { f.crashing = false }()
+	// Fail the backlog fabric-wide before touching any device, so no
+	// shard can serve pre-crash host state while its siblings reopen.
+	for _, sh := range f.shards {
+		sh.failBacklog(ErrCrashed)
+	}
+	// Quiesce workers mid-request.
+	for {
+		busy := 0
+		for _, sh := range f.shards {
+			busy += sh.busy
+		}
+		if busy == 0 {
+			break
+		}
+		p.Sleep(10 * sim.Microsecond)
+	}
+	for _, g := range f.groups {
+		if d, ok := g.dev.(*ssd.Device); ok {
+			d.Crash()
+		}
+	}
+	for _, sh := range f.shards {
+		fresh, err := sh.sys.Reopen(p)
+		if err != nil {
+			return fmt.Errorf("serve: reopen shard %d: %w", sh.idx, err)
+		}
+		sh.sys = fresh
+	}
+	return nil
+}

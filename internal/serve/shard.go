@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"errors"
+
+	"repro/internal/kvstore"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// OpKind identifies a client request type.
+type OpKind int
+
+// Request kinds.
+const (
+	// OpGet is a point lookup (a missing key is not an error).
+	OpGet OpKind = iota
+	// OpPut is a single-key upsert committed through the shard's WAL.
+	OpPut
+	// OpScan is a bounded in-order scan of the shard's keyspace.
+	OpScan
+)
+
+// Op is one client request at the serving boundary.
+type Op struct {
+	Kind  OpKind
+	Key   []byte
+	Value []byte
+	// ScanLimit bounds OpScan visits (0 = 32).
+	ScanLimit int
+	// Class selects the deadline the request is held to:
+	// sched.LatencySensitive or sched.Throughput.
+	Class sched.Class
+
+	arrived sim.Time
+	done    func(error)
+}
+
+// Shard is one KV store slice of the fabric: a kvstore.System over a
+// region of shared hardware, its own scheduler tenant, a bounded
+// admission queue, and a pool of serving workers.
+type Shard struct {
+	fab    *Fabric
+	idx    int
+	name   string
+	group  *deviceGroup
+	sys    *kvstore.System
+	tenant *sched.Tenant
+	stats  *metrics.ShardCounters
+
+	queue   []*Op
+	waiters []*sim.Cond
+	busy    int // workers mid-request (Fabric.Crash quiesces on this)
+
+	// Admission token bucket (requests, not device I/Os — the same
+	// bucket mechanism sched uses for tenant rate caps).
+	bucket sched.TokenBucket
+}
+
+// Name returns the shard's name ("shardN").
+func (sh *Shard) Name() string { return sh.name }
+
+// Index returns the shard's index in the fabric.
+func (sh *Shard) Index() int { return sh.idx }
+
+// System exposes the shard's KV system (tests and instrumentation).
+func (sh *Shard) System() *kvstore.System { return sh.sys }
+
+// Tenant returns the shard's scheduler tenant (nil when unscheduled).
+func (sh *Shard) Tenant() *sched.Tenant { return sh.tenant }
+
+// Stats returns the shard's serving counters.
+func (sh *Shard) Stats() *metrics.ShardCounters { return sh.stats }
+
+// QueueLen reports the shard's current admission-queue length.
+func (sh *Shard) QueueLen() int { return len(sh.queue) }
+
+// Submit routes one request through admission control. done always
+// fires exactly once: with ErrRejected at admission refusal, ErrStopped
+// (ErrCrashed) if the fabric stops (crashes) first, or the storage
+// engine's outcome once served. Rejection is immediate — the point of
+// admission control is that overload answers now instead of queueing
+// forever. Requests arriving at a stopped or crashing fabric are not
+// part of the admission ledger.
+func (sh *Shard) Submit(op Op, done func(error)) {
+	if sh.fab.stopped || sh.fab.crashing {
+		if done != nil {
+			if sh.fab.crashing {
+				done(ErrCrashed)
+			} else {
+				done(ErrStopped)
+			}
+		}
+		return
+	}
+	sh.stats.Submitted++
+	ac := &sh.fab.cfg.Admission
+	if ac.Enabled {
+		if len(sh.queue) >= ac.QueueLimit || !sh.bucket.TryTake(sh.fab.eng.Now()) {
+			sh.stats.Rejected++
+			if done != nil {
+				done(ErrRejected)
+			}
+			return
+		}
+	}
+	sh.stats.Admitted++
+	op.arrived = sh.fab.eng.Now()
+	op.done = done
+	sh.queue = append(sh.queue, &op)
+	if n := len(sh.queue); n > sh.stats.MaxQueue {
+		sh.stats.MaxQueue = n
+	}
+	if n := len(sh.waiters); n > 0 {
+		w := sh.waiters[n-1]
+		sh.waiters = sh.waiters[:n-1]
+		w.Fire()
+	}
+}
+
+// failBacklog fails every queued request with err and settles the drop
+// ledger (Stop without drain, and the moment of a fabric crash).
+func (sh *Shard) failBacklog(err error) {
+	for _, op := range sh.queue {
+		sh.stats.Dropped++
+		if op.done != nil {
+			op.done(err)
+		}
+	}
+	sh.queue = nil
+}
+
+// deadlineFor maps a request class to its completion target.
+func (sh *Shard) deadlineFor(c sched.Class) sim.Time {
+	if c == sched.LatencySensitive {
+		return sh.fab.cfg.Admission.LatencyDeadline
+	}
+	return sh.fab.cfg.Admission.ThroughputDeadline
+}
+
+// worker is one serving process: pull, execute, settle the deadline
+// ledger. Workers exit when the fabric stops and their queue is empty
+// (Stop without drain empties it for them).
+func (sh *Shard) worker(p *sim.Proc) {
+	for {
+		for len(sh.queue) == 0 {
+			if sh.fab.stopped {
+				return
+			}
+			c := sim.NewCond(p.Engine())
+			sh.waiters = append(sh.waiters, c)
+			c.Await(p)
+		}
+		op := sh.queue[0]
+		sh.queue = sh.queue[0:copy(sh.queue, sh.queue[1:])]
+		sh.busy++
+		// Per-request CPU work before the storage engine runs.
+		p.Sleep(sh.fab.cfg.ServeCost)
+		err := sh.execute(p, op)
+		sh.busy--
+		if err != nil {
+			// Engine failures are neither served nor latency samples.
+			sh.fab.Errors++
+			sh.stats.Failed++
+		} else {
+			sh.stats.Served++
+			sh.fab.shardLat.Record(sh.name, int64(p.Now()-op.arrived))
+			if d := sh.deadlineFor(op.Class); d > 0 && p.Now()-op.arrived > d {
+				sh.stats.DeadlineMissed++
+			}
+		}
+		if op.done != nil {
+			op.done(err)
+		}
+	}
+}
+
+// execute runs one request against the shard's store.
+func (sh *Shard) execute(p *sim.Proc, op *Op) error {
+	st := sh.sys.Store
+	switch op.Kind {
+	case OpGet:
+		_, err := st.Get(p, op.Key)
+		if errors.Is(err, kvstore.ErrNotFound) {
+			return nil
+		}
+		return err
+	case OpPut:
+		tx := st.Begin()
+		tx.Put(op.Key, op.Value)
+		return tx.Commit(p)
+	default: // OpScan
+		limit := op.ScanLimit
+		if limit <= 0 {
+			limit = 32
+		}
+		n := 0
+		return st.Scan(p, func(_, _ []byte) bool {
+			n++
+			return n < limit
+		})
+	}
+}

@@ -16,7 +16,7 @@
 //   - a multi-tenant I/O scheduler (weighted fair queueing, rate caps,
 //     GC-aware deferral fed by device notifications) on the
 //     submission path;
-//   - the experiment suite E1-E15 that regenerates every figure and
+//   - the experiment suite E1-E16 that regenerates every figure and
 //     quantitative claim in the paper.
 //
 // Quick start:
@@ -35,8 +35,10 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/ftl"
 	"repro/internal/kvstore"
+	"repro/internal/metrics"
 	"repro/internal/pcm"
 	"repro/internal/sched"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/workload"
@@ -219,6 +221,35 @@ func BuildProgressiveKV(p *Proc, eng *Engine, flash *FlashDevice, membus *MemBus
 	return kvstore.BuildProgressive(p, eng, flash, membus, logBytes, cpus, cfg)
 }
 
+// The serving fabric (package serve).
+type (
+	// Fabric is the sharded multi-tenant KV serving fabric: N KV shards
+	// multiplexed over shared devices, each its own scheduler tenant,
+	// behind shard-boundary admission control.
+	Fabric = serve.Fabric
+	// FabricConfig parameterizes a Fabric.
+	FabricConfig = serve.Config
+	// FabricShard is one KV slice of the fabric.
+	FabricShard = serve.Shard
+	// Frontend hash-routes keys to shards and drives client mixes.
+	Frontend = serve.Frontend
+	// AdmissionConfig bounds per-shard queues, rates and deadlines.
+	AdmissionConfig = serve.AdmissionConfig
+	// ShardStats is the per-shard admission/serving ledger.
+	ShardStats = metrics.ShardStats
+)
+
+// NewFabric assembles a serving fabric; call from a simulated process.
+func NewFabric(p *Proc, eng *Engine, cfg FabricConfig) (*Fabric, error) {
+	return serve.New(p, eng, cfg)
+}
+
+// NewFrontend builds a client frontend over fab with the given key
+// space and value size.
+func NewFrontend(fab *Fabric, keys int64, valueSize int) *Frontend {
+	return serve.NewFrontend(fab, keys, valueSize)
+}
+
 // Workloads.
 type (
 	// Workload generates uFLIP-style access patterns.
@@ -245,7 +276,7 @@ func NewWorkload(p WorkloadPattern, span int64, seed uint64) (*Workload, error) 
 
 // Experiments.
 type (
-	// Experiment is one runner from the E1-E15 suite.
+	// Experiment is one runner from the E1-E16 suite.
 	Experiment = experiments.Runner
 	// ExperimentResult is a runner's tables, figures and finding.
 	ExperimentResult = experiments.Result
@@ -261,5 +292,5 @@ const (
 	Full = experiments.Full
 )
 
-// Experiments lists the full E1-E15 suite in paper order.
+// Experiments lists the full E1-E16 suite in paper order.
 func Experiments() []Experiment { return experiments.All }
