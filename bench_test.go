@@ -98,6 +98,12 @@ func BenchmarkE16ServingFabric(b *testing.B) {
 	benchExperiment(b, experiments.E16ServingFabric)
 }
 
+// BenchmarkE17GCCoordination measures host→device GC coordination (the
+// fabric leasing GC deferrals from its devices) off versus on.
+func BenchmarkE17GCCoordination(b *testing.B) {
+	benchExperiment(b, experiments.E17GCCoordination)
+}
+
 // ---- substrate microbenchmarks (real wall-clock cost of the simulator) ----
 
 // BenchmarkSimulatedPageWrite measures simulator throughput for the full

@@ -1,10 +1,12 @@
-// deathbench runs the full experiment suite (E1-E16): E1-E14 reproduce
+// deathbench runs the full experiment suite (E1-E17): E1-E14 reproduce
 // every figure and quantitative claim of "The Necessary Death of the
-// Block Device Interface", and E15/E16 extend the reproduction with the
+// Block Device Interface", and E15-E17 extend the reproduction with the
 // multi-tenant studies built on the paper's communication abstraction:
-// scheduler isolation (internal/sched) and the sharded KV serving
-// fabric with admission control (internal/serve). It prints the
-// paper-style tables.
+// scheduler isolation (internal/sched), the sharded KV serving fabric
+// with admission control (internal/serve), and host→device GC
+// coordination (the scheduler leasing GC deferrals from the device).
+// It prints the paper-style tables. docs/EXPERIMENTS.md indexes every
+// experiment with its headline result.
 //
 // Usage:
 //

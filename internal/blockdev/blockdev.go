@@ -165,11 +165,36 @@ func (s *Stack) Close() { s.closed = true }
 // fallback is latency-class so attaching a scheduler never exposes
 // unaware callers to GC deferral. The scheduler's kick is pointed at
 // this stack's queue pump, so deferred work resumes when rate tokens
-// refill or device GC state changes.
+// refill or device GC state changes. When the device exposes the
+// host→device GC control surface it is wired into the scheduler too —
+// on every stack mode — so sched.Config.GCCoordinate can shape device
+// GC around latency bursts (the other half of the peer interface).
 func (s *Stack) AttachScheduler(sc *sched.Scheduler) {
 	s.sched = sc
 	s.fallback = sc.AddTenant("untagged", sched.LatencySensitive, 1)
 	sc.SetKick(s.pump)
+	if ctl := s.GCControl(); ctl != nil {
+		sc.SetGCControl(ctl)
+	}
+}
+
+// GCControl returns the device's host→device GC shaping surface, or
+// nil when the device has no controllable GC (PCM, block/hybrid FTLs).
+// Devices that carry the control methods but report themselves
+// uncontrollable (ssd.Device over a legacy FTL) also yield nil, so a
+// scheduler never leases deferrals a device can only refuse. The
+// surface is independent of the submission mode: SingleQueue,
+// MultiQueue and Direct stacks all expose it, because it rides the
+// control plane, not the data path.
+func (s *Stack) GCControl() sched.GCControl {
+	ctl, ok := s.dev.(sched.GCControl)
+	if !ok {
+		return nil
+	}
+	if probe, ok := s.dev.(interface{ GCControllable() bool }); ok && !probe.GCControllable() {
+		return nil
+	}
+	return ctl
 }
 
 // Scheduler returns the attached scheduler, or nil.

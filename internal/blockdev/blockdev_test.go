@@ -357,3 +357,52 @@ func TestUntaggedTrafficCannotStarveTenants(t *testing.T) {
 		}
 	}
 }
+
+// TestGCControlRequiresControllableGC: the GC shaping surface is only
+// exposed for devices whose GC the host can actually shape. PCM has no
+// GC at all; a 2008 hybrid-FTL device carries the control methods but
+// refuses every lease, so wiring it would just spam doomed requests.
+func TestGCControlRequiresControllableGC(t *testing.T) {
+	eng := sim.NewEngine()
+	pcmStack, err := New(eng, fastDev(t, eng), DefaultConfig(Direct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pcmStack.GCControl() != nil {
+		t.Error("PCM SSD exposed a GC control surface")
+	}
+
+	legacy, err := ssd.Build(eng, ssd.Consumer2008, ssd.Options{
+		Channels: 1, ChipsPerChannel: 2, BlocksPerPlane: 16, PagesPerBlock: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyStack, err := New(eng, legacy, DefaultConfig(Direct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacyStack.GCControl() != nil {
+		t.Error("hybrid-FTL device exposed a GC control surface it can only refuse")
+	}
+
+	modern, err := ssd.Build(eng, ssd.Enterprise2012, ssd.Options{
+		Channels: 1, ChipsPerChannel: 2, BlocksPerPlane: 16, PagesPerBlock: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modernStack, err := New(eng, modern, DefaultConfig(Direct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modernStack.GCControl() == nil {
+		t.Error("page-mapped device exposed no GC control surface")
+	}
+	// A scheduler attached to an uncontrollable device must not lease.
+	sc := sched.New(eng, sched.Config{GCCoordinate: true})
+	legacyStack.AttachScheduler(sc)
+	ls := sc.AddTenant("ls", sched.LatencySensitive, 1)
+	sc.Enqueue(ls, 1, func() {})
+	if sc.GCDeferRequests != 0 {
+		t.Errorf("scheduler leased %d deferrals from an uncontrollable device", sc.GCDeferRequests)
+	}
+}

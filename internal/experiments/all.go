@@ -24,4 +24,5 @@ var All = []Runner{
 	{"E14", E14UFLIP},
 	{"E15", E15TenantIsolation},
 	{"E16", E16ServingFabric},
+	{"E17", E17GCCoordination},
 }

@@ -287,8 +287,8 @@ func TestE14MatrixSeparatesGenerations(t *testing.T) {
 }
 
 func TestAllRunnersListed(t *testing.T) {
-	if len(All) != 16 {
-		t.Fatalf("All has %d runners, want 16", len(All))
+	if len(All) != 17 {
+		t.Fatalf("All has %d runners, want 17", len(All))
 	}
 	seen := map[string]bool{}
 	for _, r := range All {
@@ -405,5 +405,47 @@ func TestE16AdmissionControlsOverload(t *testing.T) {
 		if ledger.Rows() != 16 {
 			t.Fatalf("shard ledger has %d rows, want 16", ledger.Rows())
 		}
+	}
+}
+
+func TestE17CoordinationImprovesTail(t *testing.T) {
+	r, err := E17GCCoordination(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 4 {
+		t.Fatalf("tables = %d, want comparison + ledger + two per-tenant histograms", len(r.Tables))
+	}
+	tb := r.Tables[0]
+	if tb.Rows() != 9 {
+		t.Fatalf("comparison rows = %d, want 3 stacks x 3 shard counts", tb.Rows())
+	}
+	improved := false
+	for row := 0; row < tb.Rows(); row++ {
+		label := tb.Cell(row, 0)
+		// Coordination leases must flow on every coordinated run.
+		if defers := cellFloat(t, tb.Cell(row, 8)); defers <= 0 {
+			t.Errorf("%s/%s: no deferral sessions granted", label, tb.Cell(row, 1))
+		}
+		if cellFloat(t, tb.Cell(row, 1)) != 16 {
+			continue
+		}
+		// The acceptance bar: at 16 shards the aged devices collect
+		// inside the window, the deferral mechanism must visibly engage
+		// (headroom was consulted, and never below zero), and the
+		// latency tenant's p99 must not get worse on any stack.
+		if mh := cellFloat(t, tb.Cell(row, 11)); mh < 0 {
+			t.Errorf("%s/16: deferral never consulted (min headroom %v)", label, mh)
+		}
+		p99Off, p99On := cellFloat(t, tb.Cell(row, 4)), cellFloat(t, tb.Cell(row, 5))
+		if p99On > p99Off {
+			t.Errorf("%s/16: coordination worsened ls p99 (%v -> %v µs)", label, p99Off, p99On)
+		}
+		if p99On < p99Off {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Error("no 16-shard stack mode improved ls p99 with coordination on")
 	}
 }

@@ -1,17 +1,3 @@
-// Package ftl implements the flash translation layer family the paper's
-// Figure 2 describes — scheduling & mapping, garbage collection, and
-// wear leveling over a shared flash array — in four generations:
-//
-//   - PageFTL: full page-level mapping with write-back buffering, the
-//     "modern 2012 enterprise" design (random writes ≈ sequential);
-//   - BlockFTL: pure block mapping (early flash devices);
-//   - HybridFTL: FAST-style log blocks over block mapping, the pre-2009
-//     consumer design whose random writes collapse (Myth 2);
-//   - DFTL: page mapping with a demand-paged mapping cache (Gupta et
-//     al., ASPLOS 2009), referenced directly by the paper.
-//
-// All of them drive an Array: channels × chips with real operation
-// timing, so FTL policy differences surface as latency and bandwidth.
 package ftl
 
 import (

@@ -1,0 +1,53 @@
+// Package ftl implements the flash translation layer family the paper's
+// Figure 2 describes — scheduling & mapping, garbage collection, and
+// wear leveling over a shared flash array — in four generations:
+//
+//   - PageFTL: full page-level mapping with write-back buffering, the
+//     "modern 2012 enterprise" design (random writes ≈ sequential);
+//   - BlockFTL: pure block mapping (early flash devices);
+//   - HybridFTL: FAST-style log blocks over block mapping, the pre-2009
+//     consumer design whose random writes collapse (Myth 2);
+//   - DFTL: page mapping with a demand-paged mapping cache (Gupta et
+//     al., ASPLOS 2009), referenced directly by the paper.
+//
+// All of them drive an Array: channels × chips with real operation
+// timing, so FTL policy differences surface as latency and bandwidth.
+//
+// # Garbage collection and the watermarks
+//
+// PageFTL collects per chip: when a chip's free-block pool drops below
+// Config.GCLowWater, a GC loop picks victims (greedy or cost-benefit,
+// Config.GCPolicy), evacuates their live pages to the chip's GC
+// frontier and erases them, stopping at Config.GCHighWater.
+// Config.GCReserve blocks per chip are allocatable only by GC itself,
+// so cleaning can always make progress; host writes that outrun
+// reclamation park on the chip and drain as space returns.
+//
+// # The peer interface: GC state up, GC control down
+//
+// The paper's replacement for the block contract is a pair of
+// communicating peers, and this package carries both halves of that
+// conversation for background collection:
+//
+//   - Device→host: SetGCNotifier reports every change in the number of
+//     chips currently collecting or wear-leveling, so a host scheduler
+//     (package sched) can steer latency-sensitive traffic around
+//     relocation bursts. SetRelocationNotifier announces nameless-page
+//     moves so a host that tracks physical addresses stays current.
+//
+//   - Host→device: DeferGC(deadline) leases a pause of background
+//     collection and static wear leveling — the host shaping *when* the
+//     device cleans. ResumeGC releases the lease early. The lease is
+//     bounded by a hard floor (Config.GCDeferFloor, never below
+//     GCReserve): a chip that reaches the floor, or accumulates parked
+//     writes, collects regardless, and a device already at its floor
+//     refuses the lease outright (GCUrgency reports that pressure as
+//     relaxed/elevated/urgent). While a lease is active, collection
+//     that is forced anyway stops at the low watermark instead of the
+//     high one — reclaim to safety, then yield the LUNs back.
+//
+// GCCoord returns the coordination ledger (sessions granted, renewals,
+// refusals, expiries, floor hits, minimum observed headroom) — the
+// evidence experiments use to show the mechanism engaged and the floor
+// held.
+package ftl

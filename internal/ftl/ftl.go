@@ -97,6 +97,14 @@ type Config struct {
 	// GCReserve blocks per chip are allocatable only by GC, so cleaning
 	// can always proceed.
 	GCReserve int
+	// GCDeferFloor is the hard floor of host→device GC deferral
+	// (gccoord.go), in free blocks per chip: a chip at or below it
+	// collects even while the host holds a deferral session. Zero means
+	// GCReserve; values below the reserve are raised to it, and
+	// GCLowWater is raised if needed so the floor always sits strictly
+	// below it — deferral may spend the discretionary headroom between
+	// the low watermark and the floor, never the reserve itself.
+	GCDeferFloor int
 	// GCPolicy selects the victim policy.
 	GCPolicy GCPolicy
 	// Placement selects the write-scheduling policy.
@@ -139,11 +147,22 @@ func (c *Config) normalize() {
 	if c.GCLowWater < 2 {
 		c.GCLowWater = 2
 	}
-	if c.GCHighWater <= c.GCLowWater {
-		c.GCHighWater = c.GCLowWater + 2
-	}
 	if c.GCReserve < 1 {
 		c.GCReserve = 1
+	}
+	if c.GCDeferFloor < c.GCReserve {
+		c.GCDeferFloor = c.GCReserve
+	}
+	// The floor must sit strictly below the low watermark: a floor at
+	// or above it would make every chip cycling at the watermarks read
+	// as urgent, silently refusing all deferral. Raise the low
+	// watermark rather than lower the floor — the floor is a safety
+	// bound.
+	if c.GCLowWater <= c.GCDeferFloor {
+		c.GCLowWater = c.GCDeferFloor + 1
+	}
+	if c.GCHighWater <= c.GCLowWater {
+		c.GCHighWater = c.GCLowWater + 2
 	}
 	if c.OverProvision < 0 {
 		c.OverProvision = 0

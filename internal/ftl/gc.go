@@ -8,10 +8,16 @@ import "fmt"
 // channels.
 
 // maybeStartGC kicks the per-chip GC loop when the free pool drops below
-// the low watermark.
+// the low watermark — unless the host holds a deferral session and this
+// chip still has discretionary headroom above the defer floor
+// (gccoord.go), in which case collection stays parked until the session
+// ends or the floor forces the issue.
 func (f *PageFTL) maybeStartGC(chip int) {
 	cs := &f.chips[chip]
 	if cs.gcActive || len(cs.free) >= f.cfg.GCLowWater {
+		return
+	}
+	if f.deferredNow(chip) {
 		return
 	}
 	f.setGCActive(chip, true)
@@ -19,10 +25,11 @@ func (f *PageFTL) maybeStartGC(chip int) {
 }
 
 // gcStep reclaims one victim block, then reschedules itself until the
-// high watermark is met.
+// stop watermark is met (the high watermark normally, the low one while
+// the host is deferring GC).
 func (f *PageFTL) gcStep(chip int) {
 	cs := &f.chips[chip]
-	if len(cs.free) >= f.cfg.GCHighWater {
+	if len(cs.free) >= f.gcStopWater(chip) {
 		f.setGCActive(chip, false)
 		f.drainPending(chip)
 		f.maybeStaticWL(chip)
@@ -179,6 +186,12 @@ func (f *PageFTL) eraseAndFree(chip int, victim PBA, done func()) {
 // rewritten so its barely-worn cells rejoin the allocation pool.
 func (f *PageFTL) maybeStaticWL(chip int) {
 	if f.cfg.StaticWearThreshold <= 0 {
+		return
+	}
+	if f.gcDeferUntil > f.eng.Now() {
+		// Static wear leveling is the most discretionary background work
+		// there is: a host deferral session parks it outright (it resumes
+		// with the first post-session GC pass).
 		return
 	}
 	cs := &f.chips[chip]

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -80,6 +81,14 @@ type PageFTL struct {
 	gcNotify func(activeChips int) // GC/wear-leveling activity notifier
 	gcBusy   int                   // chips currently collecting
 
+	// Host→device GC coordination (gccoord.go): while the virtual clock
+	// is before gcDeferUntil, background GC stays parked on every chip
+	// whose free pool is above deferFloor (blocks) with nothing pending.
+	gcDeferUntil  sim.Time
+	deferFloor    int
+	deferFloorHit bool // this session already charged a ForcedResume
+	coord         metrics.GCCoord
+
 	inFlight     int64 // outstanding flash programs + GC copies
 	flushWaiters []func()
 
@@ -93,10 +102,12 @@ var _ FTL = (*PageFTL)(nil)
 func NewPageFTL(arr *Array, cfg Config) (*PageFTL, error) {
 	cfg.normalize()
 	f := &PageFTL{
-		eng: arr.Engine(),
-		arr: arr,
-		cfg: cfg,
-		rng: sim.NewRNG(cfg.Seed),
+		eng:        arr.Engine(),
+		arr:        arr,
+		cfg:        cfg,
+		rng:        sim.NewRNG(cfg.Seed),
+		deferFloor: cfg.GCDeferFloor,
+		coord:      metrics.NewGCCoord(),
 	}
 	total := arr.TotalPages()
 	f.capacity = int64(float64(total) * (1 - cfg.OverProvision))

@@ -1,0 +1,64 @@
+// Package sched is a multi-tenant I/O scheduler for the submission
+// path. The paper's thesis is that the block interface must die because
+// it hides the information both sides need to schedule well; once host
+// and device are communicating peers (package core), the host can run
+// real per-tenant arbitration right above the device queue. This
+// package provides that arbitration.
+//
+// # Tenant classes
+//
+// Every traffic source registers as a Tenant in one of two classes:
+//
+//   - LatencySensitive: per-request tail latency is the metric (point
+//     lookups, commit waits). These tenants are protected by the
+//     GC-aware policies below and are the trigger for host→device GC
+//     coordination.
+//   - Throughput: aggregate bandwidth is the metric (scans, batch
+//     loads, background maintenance). These tenants tolerate bounded
+//     deferral when the device is collecting.
+//
+// Arbitration across tenants is weighted deficit-round-robin fair
+// queueing over per-request *costs* (a write can be billed near the
+// program/read service-time ratio via blockdev.Config.WriteCost), so
+// one noisy neighbor cannot monopolize the device queue no matter how
+// expensive its requests are.
+//
+// # Admission semantics
+//
+// Two mechanisms turn overload into accountable rejects instead of
+// silent backlog growth, and package serve builds its shard-boundary
+// admission control from them:
+//
+//   - Tenant.SetQueueLimit(n) bounds a tenant's queue: Enqueue returns
+//     false (and blockdev surfaces ErrQueueLimit) instead of queueing
+//     past the bound; Tenant.Rejected counts, OnReject hooks.
+//   - Tenant.SetRateLimit(opsPerSec, burst) caps arrival rate with a
+//     TokenBucket (the shared admission currency); an empty bucket
+//     stalls the queue until tokens refill, and the scheduler arms a
+//     virtual-time wake-up so the downstream stack pulls again.
+//
+// # The GC conversation (both halves of the peer interface)
+//
+// Device→host: SetGCActiveChips is the notification sink for
+// ssd.Device.SetGCNotifier. With Config.GCAware, throughput-class
+// dispatches are deferred (bounded by Config.GCDeferLimit) while the
+// device reports active collection and a latency-sensitive tenant has
+// requests at risk.
+//
+// Host→device: with Config.GCCoordinate, the scheduler drives the
+// device's GC control surface (GCControl, wired by
+// blockdev.Stack.AttachScheduler on every stack mode). While the
+// latency-sensitive backlog is at or above Config.GCDeferBacklog, it
+// leases deferrals of background collection (Config.GCDeferSlice per
+// lease, renewed while the burst persists) and releases the lease when
+// the burst drains. The device bounds every lease with its own
+// free-pool floor, so the host can be greedy without being dangerous.
+// GCCoord returns the host-side control-traffic ledger.
+//
+// The scheduler is pull-based: a downstream stack (package blockdev)
+// enqueues tenant-tagged requests and pops the next dispatch whenever a
+// device-queue slot frees. When nothing is eligible now but will be
+// later (rate caps refilling, GC deferrals expiring), the scheduler
+// arms a virtual-time timer and invokes the registered kick callback so
+// the stack pulls again.
+package sched

@@ -1,0 +1,122 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// fakeGCControl records the control traffic a scheduler sends to its
+// device.
+type fakeGCControl struct {
+	defers  int
+	resumes int
+	until   sim.Time
+	refuse  bool
+}
+
+func (c *fakeGCControl) DeferGC(deadline sim.Time) bool {
+	c.defers++
+	if c.refuse {
+		return false
+	}
+	c.until = deadline
+	return true
+}
+
+func (c *fakeGCControl) ResumeGC() { c.resumes++ }
+
+// TestGCCoordinationLeasesAndReleases checks the host policy: a
+// latency-sensitive backlog leases a deferral, a fresh lease is not
+// re-requested per enqueue, and draining the backlog releases it.
+func TestGCCoordinationLeasesAndReleases(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.GCCoordinate = true
+	cfg.GCDeferSlice = sim.Millisecond
+	sc := New(eng, cfg)
+	ctl := &fakeGCControl{}
+	sc.SetGCControl(ctl)
+	r := newRig(eng, sc, 1, 100*sim.Microsecond)
+	ls := sc.AddTenant("ls", LatencySensitive, 1)
+	tp := sc.AddTenant("tp", Throughput, 1)
+
+	// Throughput work alone must not lease anything.
+	r.enqueueN(tp, 4)
+	if ctl.defers != 0 {
+		t.Fatalf("throughput backlog leased a deferral (%d)", ctl.defers)
+	}
+
+	// The first latency request leases; the burst right behind it rides
+	// the same fresh lease.
+	r.enqueueN(ls, 3)
+	if ctl.defers != 1 {
+		t.Fatalf("defers = %d after a latency burst, want 1 (lease reuse)", ctl.defers)
+	}
+	if want := eng.Now() + cfg.GCDeferSlice; ctl.until != want {
+		t.Fatalf("lease deadline = %v, want %v", ctl.until, want)
+	}
+	if !sc.GCCoordActive() {
+		t.Fatal("no active lease after a granted defer")
+	}
+
+	// Draining the latency backlog releases the lease exactly once.
+	r.pump()
+	eng.Run()
+	if ctl.resumes != 1 {
+		t.Fatalf("resumes = %d after the burst drained, want 1", ctl.resumes)
+	}
+	if sc.GCCoordActive() {
+		t.Fatal("lease still active after resume")
+	}
+	g := sc.GCCoord()
+	if g.HostRequests != int64(ctl.defers) || g.HostResumes != int64(ctl.resumes) {
+		t.Fatalf("ledger %+v disagrees with control traffic (%d/%d)", g, ctl.defers, ctl.resumes)
+	}
+}
+
+// TestGCCoordinationHandlesRefusal checks that a device at its floor
+// refusing the lease is accounted and does not wedge the scheduler.
+func TestGCCoordinationHandlesRefusal(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.GCCoordinate = true
+	sc := New(eng, cfg)
+	ctl := &fakeGCControl{refuse: true}
+	sc.SetGCControl(ctl)
+	r := newRig(eng, sc, 1, 100*sim.Microsecond)
+	ls := sc.AddTenant("ls", LatencySensitive, 1)
+
+	r.enqueueN(ls, 2)
+	if ctl.defers == 0 {
+		t.Fatal("no defer attempted")
+	}
+	if sc.GCCoordActive() {
+		t.Fatal("lease recorded active despite device refusal")
+	}
+	if sc.GCDeferRefused == 0 {
+		t.Fatal("refusal not accounted")
+	}
+	r.pump()
+	eng.Run()
+	if ctl.resumes != 0 {
+		t.Fatalf("resumed a lease that was never granted (%d)", ctl.resumes)
+	}
+}
+
+// TestGCCoordinationOffByDefault: without GCCoordinate the scheduler
+// must never touch the control surface, even when one is wired.
+func TestGCCoordinationOffByDefault(t *testing.T) {
+	eng := sim.NewEngine()
+	sc := New(eng, DefaultConfig())
+	ctl := &fakeGCControl{}
+	sc.SetGCControl(ctl)
+	r := newRig(eng, sc, 1, 100*sim.Microsecond)
+	ls := sc.AddTenant("ls", LatencySensitive, 1)
+	r.enqueueN(ls, 4)
+	r.pump()
+	eng.Run()
+	if ctl.defers != 0 || ctl.resumes != 0 {
+		t.Fatalf("control traffic (%d defers, %d resumes) with coordination off", ctl.defers, ctl.resumes)
+	}
+}

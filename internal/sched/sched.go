@@ -1,29 +1,3 @@
-// Package sched is a multi-tenant I/O scheduler for the submission
-// path. The paper's thesis is that the block interface must die because
-// it hides the information both sides need to schedule well; once host
-// and device are communicating peers (package core), the host can run
-// real per-tenant arbitration right above the device queue. This
-// package provides that arbitration:
-//
-//   - tenant-tagged request classes: latency-sensitive tenants (point
-//     lookups, commits) versus throughput tenants (scans, batch loads);
-//   - weighted deficit-round-robin fair queueing across tenants, so one
-//     noisy neighbor cannot monopolize the device queue;
-//   - token-bucket rate caps per tenant, for hard QoS ceilings;
-//   - per-tenant queue limits with reject callbacks, so admission
-//     control (package serve) can turn overload into immediate,
-//     accountable rejects instead of silent backlog growth;
-//   - a GC-aware mode that consumes the device-to-host GC-activity
-//     notifications (the communication abstraction at work) and defers
-//     throughput-class dispatches while the device is relocating data
-//     and a latency-sensitive tenant has requests at risk.
-//
-// The scheduler is pull-based: a downstream stack (package blockdev)
-// enqueues tenant-tagged requests and pops the next dispatch whenever a
-// device-queue slot frees. When nothing is eligible now but will be
-// later (rate caps refilling, GC deferrals expiring), the scheduler
-// arms a virtual-time timer and invokes the registered kick callback so
-// the stack pulls again.
 package sched
 
 import (
@@ -72,6 +46,22 @@ type Config struct {
 	// back by GC-awareness, so background tenants cannot starve
 	// outright. Zero means 2ms.
 	GCDeferLimit sim.Time
+	// GCCoordinate enables the host→device half of the peer interface:
+	// while latency-sensitive tenants are backlogged, the scheduler
+	// leases GC deferrals from the device (SetGCControl), so background
+	// relocation traffic yields the LUNs to the burst; the lease is
+	// released when the burst drains and is always bounded by the
+	// device's own free-pool floor.
+	GCCoordinate bool
+	// GCDeferSlice is the lease length of each defer request; the lease
+	// is renewed while the burst persists, so its length only bounds how
+	// long GC stays parked after the host goes quiet without an explicit
+	// resume. Zero means 1ms.
+	GCDeferSlice sim.Time
+	// GCDeferBacklog is the latency-sensitive backlog (requests) at or
+	// above which the scheduler leases a deferral. Zero means 1: any
+	// latency-class request waiting is reason to hold background GC.
+	GCDeferBacklog int
 }
 
 // DefaultConfig returns the standard scheduler parameters.
@@ -257,9 +247,37 @@ type Scheduler struct {
 	gcChips int // device-reported chips currently garbage-collecting
 	kick    func()
 
+	// Host→device GC coordination (Config.GCCoordinate): the device
+	// control handle, the expiry of the currently leased deferral, and
+	// the earliest instant a refused lease may be retried.
+	gcctl        GCControl
+	gcDeferUntil sim.Time
+	gcRetryAt    sim.Time
+
 	// GCDeferrals counts throughput requests held back at least once by
 	// the GC-aware policy.
 	GCDeferrals int64
+	// GCDeferRequests, GCDeferRefused and GCResumeRequests count the
+	// host→device control traffic: deferral leases requested (fresh or
+	// renewal), leases the device refused for lack of headroom, and
+	// explicit resumes when the latency backlog drained.
+	GCDeferRequests  int64
+	GCDeferRefused   int64
+	GCResumeRequests int64
+}
+
+// GCControl is what the scheduler needs from a device to shape its
+// garbage collection — the host→device half of the paper's peer
+// interface. ssd.Device implements it; blockdev.Stack.AttachScheduler
+// wires it up on every stack mode.
+type GCControl interface {
+	// DeferGC asks the device to park background GC until the deadline,
+	// reporting whether the request was honored (a device at its floor
+	// refuses). Honored deferrals remain bounded by the device's own
+	// free-pool floor.
+	DeferGC(deadline sim.Time) bool
+	// ResumeGC releases an active deferral early.
+	ResumeGC()
 }
 
 // New builds a scheduler on eng.
@@ -270,7 +288,84 @@ func New(eng *sim.Engine, cfg Config) *Scheduler {
 	if cfg.GCDeferLimit <= 0 {
 		cfg.GCDeferLimit = 2 * sim.Millisecond
 	}
+	if cfg.GCDeferSlice <= 0 {
+		cfg.GCDeferSlice = sim.Millisecond
+	}
+	if cfg.GCDeferBacklog <= 0 {
+		cfg.GCDeferBacklog = 1
+	}
 	return &Scheduler{eng: eng, cfg: cfg}
+}
+
+// SetGCControl hands the scheduler the device's GC control surface.
+// With Config.GCCoordinate unset the handle is kept but unused, so
+// wiring it unconditionally (as blockdev.Stack.AttachScheduler does) is
+// free.
+func (s *Scheduler) SetGCControl(ctl GCControl) { s.gcctl = ctl }
+
+// GCCoordActive reports whether the scheduler currently holds a GC
+// deferral lease on the device.
+func (s *Scheduler) GCCoordActive() bool { return s.gcDeferUntil > s.eng.Now() }
+
+// maybeDeferGC leases (or renews) a device GC deferral when the
+// latency-sensitive backlog warrants it. It runs on latency enqueues
+// and on pops that leave the backlog above the threshold, so a burst
+// that drains slowly keeps its lease alive. Leases are renewed once
+// the previous one is at least half spent, and a refusal backs off for
+// the same half-slice, so the control traffic stays O(1) per lease
+// rather than per request.
+func (s *Scheduler) maybeDeferGC() {
+	if !s.cfg.GCCoordinate || s.gcctl == nil || s.latencyBacklog < s.cfg.GCDeferBacklog {
+		return
+	}
+	now := s.eng.Now()
+	if s.gcDeferUntil-now > s.cfg.GCDeferSlice/2 {
+		return // current lease still fresh
+	}
+	if now < s.gcRetryAt {
+		return // the device refused recently; don't spam it
+	}
+	until := now + s.cfg.GCDeferSlice
+	s.GCDeferRequests++
+	if s.gcctl.DeferGC(until) {
+		s.gcDeferUntil = until
+	} else {
+		s.GCDeferRefused++
+		s.gcRetryAt = now + s.cfg.GCDeferSlice/2
+	}
+}
+
+// GCCoord returns the host side of the coordination ledger (merge it
+// with the device side via metrics.GCCoord.Add, as serve.Fabric does).
+func (s *Scheduler) GCCoord() metrics.GCCoord {
+	g := metrics.NewGCCoord()
+	g.HostRequests = s.GCDeferRequests
+	g.HostResumes = s.GCResumeRequests
+	return g
+}
+
+// maybeResumeGC releases the deferral lease once no latency-sensitive
+// request is waiting — the burst drained, the device may collect. The
+// device call is deferred to the event loop rather than made inline:
+// resuming kicks GC, whose activity notification re-enters this
+// scheduler's kick/pump while the triggering pop is still unwinding,
+// and the nested pump would dispatch throughput work ahead of the very
+// latency request that drained the burst.
+func (s *Scheduler) maybeResumeGC() {
+	if !s.cfg.GCCoordinate || s.gcctl == nil || s.latencyBacklog > 0 {
+		return
+	}
+	if s.gcDeferUntil > s.eng.Now() {
+		s.gcDeferUntil = 0
+		s.GCResumeRequests++
+		ctl := s.gcctl
+		s.eng.Schedule(s.eng.Now(), func() {
+			if s.gcDeferUntil > s.eng.Now() {
+				return // a fresh lease raced in before the resume fired
+			}
+			ctl.ResumeGC()
+		})
+	}
 }
 
 // AddTenant registers a traffic source. Weight sets its fair share
@@ -334,6 +429,7 @@ func (s *Scheduler) Enqueue(t *Tenant, cost int, dispatch func()) bool {
 	s.backlog++
 	if t.class == LatencySensitive {
 		s.latencyBacklog++
+		s.maybeDeferGC()
 	}
 	return true
 }
@@ -379,6 +475,13 @@ func (s *Scheduler) pop(t *Tenant, now sim.Time) request {
 	s.backlog--
 	if t.class == LatencySensitive {
 		s.latencyBacklog--
+		if s.latencyBacklog == 0 {
+			s.maybeResumeGC()
+		} else {
+			// The burst is still draining: keep the lease alive even if
+			// no new latency request arrives to renew it.
+			s.maybeDeferGC()
+		}
 	}
 	return head
 }

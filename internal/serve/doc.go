@@ -1,0 +1,39 @@
+// Package serve is the sharded multi-tenant KV serving fabric: the
+// layer that turns "storage stacks under a synthetic driver" into a
+// servable system. A Fabric owns one or more flash devices, each behind
+// one block-layer stack with an attached multi-tenant scheduler, and
+// carves N Shards out of them — each shard a full kvstore.System
+// (WAL + copy-on-write B+tree) registered as its own scheduler tenant,
+// so the device-level arbiter isolates shards from each other's I/O. A
+// Frontend hash-routes keys to shards and drives client populations
+// from workload.TenantSpec mixes.
+//
+// # Admission semantics
+//
+// The fabric enforces per-shard SLOs at admission time, where the paper
+// says policy belongs once host and device are communicating peers.
+// With AdmissionConfig.Enabled, each shard has:
+//
+//   - a bounded request queue (QueueLimit): arrivals past it fail
+//     immediately with ErrRejected rather than backlogging;
+//   - a token-bucket arrival cap (Rate/Burst, the same
+//     sched.TokenBucket currency used for tenant rate caps): an empty
+//     bucket rejects rather than queueing;
+//   - per-class deadlines (LatencyDeadline, ThroughputDeadline):
+//     served requests that outlive their class deadline count as
+//     deadline misses in metrics.ShardStats, next to the admission
+//     ledger and metrics.TenantLatencies' latency ledger.
+//
+// Experiment E16 measures what that buys under overload.
+//
+// # GC coordination across shards
+//
+// With Config.GCCoordinate (requires Scheduled), each device's
+// scheduler also drives that device's GC control surface: because
+// every shard on the device is a tenant of the same scheduler, the
+// aggregate latency-class backlog of *all* its shards leases GC
+// deferrals and releases them when the burst drains — per-device GC
+// shaped fabric-wide, bounded by each device's own free-pool floor.
+// Fabric.GCCoord merges the host- and device-side ledgers; experiment
+// E17 measures the tail-latency and deadline-miss wins.
+package serve

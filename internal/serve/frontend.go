@@ -26,6 +26,8 @@ type Frontend struct {
 	// admission reject before its next request (retry storms otherwise
 	// collapse virtual time to a busy loop).
 	RejectBackoff sim.Time
+
+	churned int // completed churn rounds, the running value salt
 }
 
 // NewFrontend builds a frontend over fab with the given key space.
@@ -90,21 +92,20 @@ func (f *Frontend) Scan(p *sim.Proc, i int64, limit int) error {
 	return f.do(p, Op{Kind: OpScan, Key: f.Key(i), ScanLimit: limit, Class: sched.Throughput})
 }
 
-// valueFor builds key i's deterministic payload.
-func (f *Frontend) valueFor(i int64) []byte {
+// valueFor builds key i's deterministic payload (salt varies content
+// between churn rounds so rewrites are real page updates).
+func (f *Frontend) valueFor(i int64, salt byte) []byte {
 	v := make([]byte, f.ValueSize)
 	for j := range v {
-		v[j] = byte(int64(j) + i)
+		v[j] = byte(int64(j)+i) ^ salt
 	}
 	return v
 }
 
-// Preload writes every key once, straight into the shard stores
-// (bypassing admission), and checkpoints each shard so a measurement
-// window starts from a warm tree on flash instead of an empty memtable
-// that would serve reads without any device I/O. Call before Drive,
-// from a simulated process, with no concurrent clients.
-func (f *Frontend) Preload(p *sim.Proc) error {
+// writeAll writes every key once, straight into the shard stores
+// (bypassing admission), then checkpoints each shard so the trees land
+// on flash.
+func (f *Frontend) writeAll(p *sim.Proc, salt byte) error {
 	const batch = 8
 	txns := make([]*kvstore.Txn, len(f.fab.shards))
 	counts := make([]int, len(f.fab.shards))
@@ -114,7 +115,7 @@ func (f *Frontend) Preload(p *sim.Proc) error {
 		if txns[sh.idx] == nil {
 			txns[sh.idx] = sh.sys.Store.Begin()
 		}
-		txns[sh.idx].Put(key, f.valueFor(i))
+		txns[sh.idx].Put(key, f.valueFor(i, salt))
 		if counts[sh.idx]++; counts[sh.idx]%batch == 0 {
 			if err := txns[sh.idx].Commit(p); err != nil {
 				return fmt.Errorf("serve: preload shard %d: %w", sh.idx, err)
@@ -137,6 +138,32 @@ func (f *Frontend) Preload(p *sim.Proc) error {
 	return nil
 }
 
+// Preload writes every key once, straight into the shard stores
+// (bypassing admission), and checkpoints each shard so a measurement
+// window starts from a warm tree on flash instead of an empty memtable
+// that would serve reads without any device I/O. Call before Drive,
+// from a simulated process, with no concurrent clients.
+func (f *Frontend) Preload(p *sim.Proc) error { return f.writeAll(p, 0) }
+
+// Churn rewrites every key rounds more times (fresh values each round,
+// checkpoint after each pass). Every rewrite invalidates flash pages,
+// so churn drags the devices' free pools down toward the GC watermarks
+// — a measurement window that follows starts with garbage collection
+// live, the steady state of a served device, instead of on
+// factory-fresh flash that would never collect inside the window. The
+// salt keeps rotating across separate Churn calls, so callers that
+// churn one round at a time (checking device state between rounds)
+// still write fresh values every pass.
+func (f *Frontend) Churn(p *sim.Proc, rounds int) error {
+	for r := 0; r < rounds; r++ {
+		f.churned++
+		if err := f.writeAll(p, byte(f.churned)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // opFor maps one generated access to a serving request. Sequential
 // reads from throughput tenants become bounded scans (the analytics
 // stream of ScanHeavyMix); everything else maps read→get, write→put.
@@ -146,7 +173,7 @@ func (f *Frontend) opFor(spec *workload.TenantSpec, a workload.Access) Op {
 		class = sched.LatencySensitive
 	}
 	if a.Kind == workload.Write {
-		return Op{Kind: OpPut, Key: f.Key(a.LPN), Value: f.valueFor(a.LPN), Class: class}
+		return Op{Kind: OpPut, Key: f.Key(a.LPN), Value: f.valueFor(a.LPN, 0), Class: class}
 	}
 	if spec.Pattern == workload.SR && !spec.LatencySensitive {
 		return Op{Kind: OpScan, Key: f.Key(a.LPN), ScanLimit: f.ScanLimit, Class: class}

@@ -1,21 +1,3 @@
-// Package serve is the sharded multi-tenant KV serving fabric: the
-// layer that turns "storage stacks under a synthetic driver" into a
-// servable system. A Fabric owns one or more flash devices, each behind
-// one block-layer stack with an attached multi-tenant scheduler, and
-// carves N Shards out of them — each shard a full kvstore.System
-// (WAL + copy-on-write B+tree) registered as its own scheduler tenant,
-// so the device-level arbiter isolates shards from each other's I/O. A
-// Frontend hash-routes keys to shards and drives client populations
-// from workload.TenantSpec mixes.
-//
-// The fabric enforces per-shard SLOs at admission time, where the paper
-// says policy belongs once host and device are communicating peers:
-// each shard has a bounded request queue and a token-bucket arrival
-// cap, and overload turns into immediate, accountable rejects instead
-// of silent backlog growth; served requests that outlive their class
-// deadline are counted as misses. metrics.ShardStats carries the
-// admission ledger next to metrics.TenantLatencies' latency ledger.
-// Experiment E16 measures what that buys under overload.
 package serve
 
 import (
@@ -85,6 +67,13 @@ type Config struct {
 	Scheduled bool
 	// Sched tunes the per-device scheduler (zero = sched.DefaultConfig).
 	Sched sched.Config
+	// GCCoordinate turns on host→device GC coordination (shorthand for
+	// Sched.GCCoordinate): each device's scheduler leases GC deferrals
+	// while any of that device's shards has latency-class work queued,
+	// and releases them when the burst drains — so the fabric shapes
+	// per-device GC across all the shards sharing that device. Implies
+	// Scheduled (coordination runs inside the per-device scheduler).
+	GCCoordinate bool
 	// WriteCost is the DRR billing for writes vs reads on the scheduled
 	// path (zero = blockdev default).
 	WriteCost int
@@ -179,6 +168,13 @@ func New(p *sim.Proc, eng *sim.Engine, cfg Config) (*Fabric, error) {
 	}
 	if cfg.Sched == (sched.Config{}) {
 		cfg.Sched = sched.DefaultConfig()
+	}
+	if cfg.GCCoordinate {
+		// Coordination lives inside the per-device scheduler; asking for
+		// it implies scheduling (a silent no-op here would let a user
+		// measure "coordination on" that was actually off).
+		cfg.Scheduled = true
+		cfg.Sched.GCCoordinate = true
 	}
 
 	f := &Fabric{
@@ -315,6 +311,25 @@ func (f *Fabric) ResetStats() {
 
 // Scheduler returns device d's scheduler (nil when unscheduled).
 func (f *Fabric) Scheduler(d int) *sched.Scheduler { return f.groups[d].sched }
+
+// GCCoord merges the GC-coordination ledgers of every device in the
+// fabric — the host side (defer leases requested, resumes issued, from
+// each device's scheduler) and the device side (sessions granted,
+// refusals, floor hits, minimum headroom, from each FTL). The merged
+// ledger is E17's proof that coordination engaged and that no device's
+// free pool was starved below its floor.
+func (f *Fabric) GCCoord() metrics.GCCoord {
+	g := metrics.NewGCCoord()
+	for _, grp := range f.groups {
+		if grp.sched != nil {
+			g.Add(grp.sched.GCCoord())
+		}
+		if xd, ok := grp.dev.(*ssd.Device); ok {
+			g.Add(xd.GCCoord())
+		}
+	}
+	return g
+}
 
 // Stack returns device d's block-layer stack.
 func (f *Fabric) Stack(d int) *blockdev.Stack { return f.groups[d].stack }

@@ -49,7 +49,7 @@ func TestFabricServesAcrossShards(t *testing.T) {
 	withFabric(t, baseConfig(4), func(p *sim.Proc, f *Fabric) {
 		fe := NewFrontend(f, 64, 32)
 		for i := int64(0); i < 64; i++ {
-			if err := fe.Put(p, i, fe.valueFor(i)); err != nil {
+			if err := fe.Put(p, i, fe.valueFor(i, 0)); err != nil {
 				t.Fatalf("put %d: %v", i, err)
 			}
 		}
@@ -71,7 +71,7 @@ func TestFabricServesAcrossShards(t *testing.T) {
 		for i := int64(0); i < 64; i++ {
 			sh := fe.ShardFor(fe.Key(i))
 			got, err := sh.System().Store.Get(p, fe.Key(i))
-			if err != nil || !bytes.Equal(got, fe.valueFor(i)) {
+			if err != nil || !bytes.Equal(got, fe.valueFor(i, 0)) {
 				t.Fatalf("key %d on %s: %q %v", i, sh.Name(), got, err)
 			}
 		}
@@ -92,7 +92,7 @@ func TestAdmissionBoundsQueueAndRejects(t *testing.T) {
 		wg.Add(n)
 		rejects := 0
 		for i := 0; i < n; i++ {
-			fe.Submit(Op{Kind: OpPut, Key: fe.Key(int64(i % 16)), Value: fe.valueFor(0), Class: sched.Throughput},
+			fe.Submit(Op{Kind: OpPut, Key: fe.Key(int64(i % 16)), Value: fe.valueFor(0, 0), Class: sched.Throughput},
 				func(err error) {
 					if errors.Is(err, ErrRejected) {
 						rejects++
@@ -148,7 +148,7 @@ func TestDeadlineMissAccounting(t *testing.T) {
 	withFabric(t, cfg, func(p *sim.Proc, f *Fabric) {
 		fe := NewFrontend(f, 16, 32)
 		for i := int64(0); i < 8; i++ {
-			if err := fe.Put(p, i, fe.valueFor(i)); err != nil {
+			if err := fe.Put(p, i, fe.valueFor(i, 0)); err != nil {
 				t.Fatalf("put: %v", err)
 			}
 		}
@@ -166,7 +166,7 @@ func TestStopWithoutDrainDropsBacklog(t *testing.T) {
 		fe := NewFrontend(f, 16, 32)
 		stopped := 0
 		for i := 0; i < 30; i++ {
-			fe.Submit(Op{Kind: OpPut, Key: fe.Key(int64(i % 16)), Value: fe.valueFor(0), Class: sched.Throughput},
+			fe.Submit(Op{Kind: OpPut, Key: fe.Key(int64(i % 16)), Value: fe.valueFor(0, 0), Class: sched.Throughput},
 				func(err error) {
 					if errors.Is(err, ErrStopped) {
 						stopped++
@@ -202,7 +202,7 @@ func TestFabricCrashReopenPerShard(t *testing.T) {
 			withFabric(t, cfg, func(p *sim.Proc, f *Fabric) {
 				fe := NewFrontend(f, 48, 32)
 				for i := int64(0); i < 48; i++ {
-					if err := fe.Put(p, i, fe.valueFor(i)); err != nil {
+					if err := fe.Put(p, i, fe.valueFor(i, 0)); err != nil {
 						t.Fatalf("put %d: %v", i, err)
 					}
 				}
@@ -215,7 +215,7 @@ func TestFabricCrashReopenPerShard(t *testing.T) {
 					}
 				}
 				for i := int64(0); i < 12; i++ {
-					if err := fe.Put(p, i, fe.valueFor(i)); err != nil {
+					if err := fe.Put(p, i, fe.valueFor(i, 0)); err != nil {
 						t.Fatalf("tail put %d: %v", i, err)
 					}
 				}
@@ -228,7 +228,7 @@ func TestFabricCrashReopenPerShard(t *testing.T) {
 				for i := int64(0); i < 48; i++ {
 					sh := fe.ShardFor(fe.Key(i))
 					got, err := sh.System().Store.Get(p, fe.Key(i))
-					if err != nil || !bytes.Equal(got, fe.valueFor(i)) {
+					if err != nil || !bytes.Equal(got, fe.valueFor(i, 0)) {
 						t.Fatalf("after crash, key %d on %s: %q %v", i, sh.Name(), got, err)
 					}
 				}
@@ -251,7 +251,7 @@ func TestCrashWhileServingResumes(t *testing.T) {
 	withFabric(t, cfg, func(p *sim.Proc, f *Fabric) {
 		fe := NewFrontend(f, 32, 32)
 		for i := int64(0); i < 32; i++ {
-			if err := fe.Put(p, i, fe.valueFor(i)); err != nil {
+			if err := fe.Put(p, i, fe.valueFor(i, 0)); err != nil {
 				t.Fatalf("put %d: %v", i, err)
 			}
 		}
@@ -283,14 +283,14 @@ func TestCrashWhileServingResumes(t *testing.T) {
 		for i := int64(0); i < 32; i++ {
 			sh := fe.ShardFor(fe.Key(i))
 			got, err := sh.System().Store.Get(p, fe.Key(i))
-			if err != nil || !bytes.Equal(got, fe.valueFor(i)) {
+			if err != nil || !bytes.Equal(got, fe.valueFor(i, 0)) {
 				t.Fatalf("after crash, key %d: %q %v", i, got, err)
 			}
 		}
 		if err := fe.Get(p, 3); err != nil {
 			t.Fatalf("serving after crash: %v", err)
 		}
-		if err := fe.Put(p, 40, fe.valueFor(40)); err != nil {
+		if err := fe.Put(p, 40, fe.valueFor(40, 0)); err != nil {
 			t.Fatalf("writing after crash: %v", err)
 		}
 	})
@@ -338,4 +338,51 @@ func TestFrontendDrivesTenantMix(t *testing.T) {
 	if fab.Errors != 0 {
 		t.Errorf("engine errors during drive: %d", fab.Errors)
 	}
+}
+
+// TestFabricGCCoordinationLedger: a coordinated fabric's latency-class
+// traffic leases GC deferrals from its devices, and the fabric merges
+// the host- and device-side ledgers.
+func TestFabricGCCoordinationLedger(t *testing.T) {
+	cfg := baseConfig(2)
+	cfg.GCCoordinate = true
+	withFabric(t, cfg, func(p *sim.Proc, f *Fabric) {
+		if !f.Config().Sched.GCCoordinate {
+			t.Fatal("GCCoordinate not plumbed into the scheduler config")
+		}
+		fe := NewFrontend(f, 32, 32)
+		for i := int64(0); i < 32; i++ {
+			if err := fe.Put(p, i, fe.valueFor(i, 0)); err != nil {
+				t.Fatalf("put %d: %v", i, err)
+			}
+		}
+		for i := int64(0); i < 32; i++ {
+			if err := fe.Get(p, i); err != nil {
+				t.Fatalf("get %d: %v", i, err)
+			}
+		}
+		g := f.GCCoord()
+		if g.HostRequests == 0 {
+			t.Fatal("no deferral leases requested by a coordinated fabric under latency traffic")
+		}
+		if g.HostResumes == 0 {
+			t.Fatal("no leases released even though every burst drained")
+		}
+	})
+}
+
+// TestFabricUncoordinatedSendsNoControlTraffic: the default fabric must
+// not lease deferrals.
+func TestFabricUncoordinatedSendsNoControlTraffic(t *testing.T) {
+	withFabric(t, baseConfig(2), func(p *sim.Proc, f *Fabric) {
+		fe := NewFrontend(f, 16, 32)
+		for i := int64(0); i < 16; i++ {
+			if err := fe.Put(p, i, fe.valueFor(i, 0)); err != nil {
+				t.Fatalf("put %d: %v", i, err)
+			}
+		}
+		if g := f.GCCoord(); g.HostRequests != 0 {
+			t.Fatalf("uncoordinated fabric leased %d deferrals", g.HostRequests)
+		}
+	})
 }

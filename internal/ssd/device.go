@@ -252,6 +252,56 @@ func (d *Device) SetGCNotifier(fn func(activeChips int)) error {
 	return nil
 }
 
+// GCControllable reports whether this device's GC can be shaped by the
+// host: true only for page-mapped FTLs (directly or behind DFTL).
+// Block- and hybrid-mapped devices answer every DeferGC with a refusal,
+// so hosts should not bother wiring them (blockdev.Stack.GCControl
+// probes this).
+func (d *Device) GCControllable() bool { return d.pageFTL() != nil }
+
+// DeferGC is the host→device half of the peer interface: it asks the
+// device to park background garbage collection until the virtual-time
+// deadline, and reports whether the device honored the request. The
+// deferral is bounded by the device's own free-pool floor (it refuses
+// when urgent, and a chip that reaches the floor collects anyway), so
+// the host can be greedy without being dangerous. Devices without a
+// page-mapped FTL have no controllable GC and report false. Deferral
+// is a control-plane message: it costs no link time.
+func (d *Device) DeferGC(deadline sim.Time) bool {
+	pf := d.pageFTL()
+	if pf == nil {
+		return false
+	}
+	return pf.DeferGC(deadline)
+}
+
+// ResumeGC releases an active GC deferral early (the burst the host was
+// protecting has drained). A no-op on devices without controllable GC.
+func (d *Device) ResumeGC() {
+	if pf := d.pageFTL(); pf != nil {
+		pf.ResumeGC()
+	}
+}
+
+// GCUrgency reports the device's reclamation pressure (relaxed,
+// elevated, urgent) — what a host scheduler polls to know how much
+// deferral headroom remains. FTLs without controllable GC report
+// relaxed.
+func (d *Device) GCUrgency() ftl.GCUrgency {
+	if pf := d.pageFTL(); pf != nil {
+		return pf.GCUrgency()
+	}
+	return ftl.GCRelaxed
+}
+
+// GCCoord returns the device-side GC-coordination ledger.
+func (d *Device) GCCoord() metrics.GCCoord {
+	if pf := d.pageFTL(); pf != nil {
+		return pf.GCCoord()
+	}
+	return metrics.NewGCCoord()
+}
+
 // AtomicWrite stores a group of pages all-or-nothing (Ouyang et al.'s
 // "beyond block I/O" primitive, cited in §3). The group lands in the
 // safe write buffer in one step, so a crash either preserves the whole

@@ -71,6 +71,14 @@ type Options struct {
 	GCPolicy ftl.GCPolicy
 	// OverProvision overrides the spare fraction (0 keeps default).
 	OverProvision float64
+	// GCLowWater and GCHighWater override the FTL's GC watermarks in
+	// free blocks per chip (0 keeps defaults). Raising the low watermark
+	// widens the discretionary headroom host→device GC deferral may
+	// spend before hitting the floor.
+	GCLowWater, GCHighWater int
+	// GCDeferFloor overrides the deferral hard floor in free blocks per
+	// chip (0 keeps the default: the GC reserve).
+	GCDeferFloor int
 	// Seed drives all randomness (0 -> deterministic content, seed 1).
 	Seed uint64
 }
@@ -136,6 +144,15 @@ func Build(eng *sim.Engine, p Preset, opt Options) (Dev, error) {
 		fcfg.ECC = ecc.BCH8Per512
 		if opt.OverProvision != 0 {
 			fcfg.OverProvision = opt.OverProvision
+		}
+		if opt.GCLowWater > 0 {
+			fcfg.GCLowWater = opt.GCLowWater
+		}
+		if opt.GCHighWater > 0 {
+			fcfg.GCHighWater = opt.GCHighWater
+		}
+		if opt.GCDeferFloor > 0 {
+			fcfg.GCDeferFloor = opt.GCDeferFloor
 		}
 		switch {
 		case p == Enterprise2012Unbuffered || opt.BufferPages < 0:

@@ -158,6 +158,10 @@ type (
 	Tenant = sched.Tenant
 	// TenantClass separates latency-sensitive from throughput tenants.
 	TenantClass = sched.Class
+	// GCControl is the host→device GC shaping surface a scheduler uses
+	// to park background collection during latency bursts (the other
+	// half of the peer interface; ssd devices implement it).
+	GCControl = sched.GCControl
 )
 
 // Tenant classes.

@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# lint.sh — the docs-and-code lint gate run by CI (and by hand).
+#
+#   1. gofmt -l: no unformatted Go files;
+#   2. go vet ./...: no vet findings;
+#   3. every internal/* package carries a package comment ("// Package
+#      <name> ..."), so godoc never renders an undocumented subsystem.
+#
+# Exits non-zero on the first failing check.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    fail=1
+fi
+
+if ! go vet ./...; then
+    fail=1
+fi
+
+for dir in internal/*/; do
+    pkg=$(basename "$dir")
+    if ! grep -q "^// Package $pkg " "$dir"*.go; then
+        echo "package comment missing: $dir has no '// Package $pkg ...' doc comment" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "lint: FAILED" >&2
+    exit 1
+fi
+echo "lint: OK"
