@@ -104,6 +104,14 @@ func BenchmarkE17GCCoordination(b *testing.B) {
 	benchExperiment(b, experiments.E17GCCoordination)
 }
 
+// BenchmarkE18AdaptiveControlPlane measures the adaptive control plane
+// (observed-service-time feedback: cost calibration, adaptive
+// deadlines, SLO autoscaling, urgency-sized GC leases) against the
+// static constants on devices that age mid-run.
+func BenchmarkE18AdaptiveControlPlane(b *testing.B) {
+	benchExperiment(b, experiments.E18AdaptiveControlPlane)
+}
+
 // ---- substrate microbenchmarks (real wall-clock cost of the simulator) ----
 
 // BenchmarkSimulatedPageWrite measures simulator throughput for the full

@@ -1,19 +1,26 @@
-// deathbench runs the full experiment suite (E1-E17): E1-E14 reproduce
+// deathbench runs the full experiment suite (E1-E18): E1-E14 reproduce
 // every figure and quantitative claim of "The Necessary Death of the
-// Block Device Interface", and E15-E17 extend the reproduction with the
+// Block Device Interface", and E15-E18 extend the reproduction with the
 // multi-tenant studies built on the paper's communication abstraction:
 // scheduler isolation (internal/sched), the sharded KV serving fabric
-// with admission control (internal/serve), and host→device GC
-// coordination (the scheduler leasing GC deferrals from the device).
+// with admission control (internal/serve), host→device GC coordination
+// (the scheduler leasing GC deferrals from the device), and the
+// adaptive control plane (observed-service-time feedback closing the
+// loop around billing, deadlines, admission and GC leases).
 // It prints the paper-style tables. docs/EXPERIMENTS.md indexes every
 // experiment with its headline result.
 //
 // Usage:
 //
-//	deathbench [-scale quick|full] [-only E5,E10]
+//	deathbench [-scale quick|full] [-only E5,E10] [-json results.json]
+//
+// With -json, machine-readable per-experiment results (id, title,
+// scale, finding, headline metrics) are written to the given path, so
+// the bench trajectory (BENCH_*.json) can be captured per run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,9 +29,19 @@ import (
 	"repro/internal/experiments"
 )
 
+// jsonResult is one experiment's machine-readable record.
+type jsonResult struct {
+	ID       string             `json:"id"`
+	Title    string             `json:"title"`
+	Scale    string             `json:"scale"`
+	Finding  string             `json:"finding"`
+	Headline map[string]float64 `json:"headline,omitempty"`
+}
+
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	onlyFlag := flag.String("only", "", "comma-separated experiment IDs (e.g. E5,E10); empty = all")
+	jsonFlag := flag.String("json", "", "write machine-readable per-experiment results to this path")
 	flag.Parse()
 
 	scale := experiments.Quick
@@ -45,6 +62,7 @@ func main() {
 	}
 
 	failed := 0
+	var records []jsonResult
 	for _, r := range experiments.All {
 		if len(want) > 0 && !want[r.ID] {
 			continue
@@ -56,6 +74,25 @@ func main() {
 			continue
 		}
 		fmt.Println(res.String())
+		records = append(records, jsonResult{
+			ID:       res.ID,
+			Title:    res.Title,
+			Scale:    *scaleFlag,
+			Finding:  res.Finding,
+			Headline: res.Headline,
+		})
+	}
+	if *jsonFlag != "" {
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deathbench: marshal results: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonFlag, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "deathbench: write %s: %v\n", *jsonFlag, err)
+			os.Exit(1)
+		}
 	}
 	if failed > 0 {
 		os.Exit(1)

@@ -15,7 +15,9 @@ package blockdev
 import (
 	"errors"
 	"fmt"
+	"math"
 
+	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/ssd"
@@ -86,7 +88,41 @@ type Config struct {
 	// device's program/read service-time ratio keeps cheap reads from
 	// being crowded out by expensive writes.
 	ReadCost, WriteCost int
+	// Calibrate replaces the static ReadCost/WriteCost billing with
+	// online cost calibration: the stack measures every request's device
+	// service time (dispatch to completion, the span the block interface
+	// reports and nothing more) into a windowed estimator and re-derives
+	// the read/write billing from the observed EWMA ratio. The static
+	// costs remain the seed — billing until both op classes have
+	// samples — so a cold stack behaves exactly like an uncalibrated
+	// one. This is the honest version of the WriteCost guess above: a
+	// device whose programs slow with age is billed at what its writes
+	// actually cost today, not at what they cost when configured.
+	Calibrate bool
+	// CalibrateWindow is the estimator sub-window (zero = 2ms; the full
+	// observation window is 4 sub-windows).
+	CalibrateWindow sim.Time
+	// MaxCostRatio clamps the calibrated expensive:cheap billing ratio,
+	// bounding how hard one op class can be billed relative to the
+	// other no matter what the estimator reports (zero = 64).
+	MaxCostRatio int
 }
+
+// Service-time estimator class names (also the keys experiments read).
+const (
+	SvcRead  = "read"
+	SvcWrite = "write"
+)
+
+// costGrain is the billing unit of calibrated costs: the cheaper op
+// class is billed costGrain units so ratios below 2 are still
+// representable in integer DRR costs (at grain 1 everything between
+// 1.0x and 1.5x would round to parity).
+const costGrain = 8
+
+// calSeedSamples is how many lifetime samples each op class needs
+// before calibrated billing replaces the static seed costs.
+const calSeedSamples = 8
 
 // DefaultConfig mirrors a 2012 Linux stack on a fast SSD.
 func DefaultConfig(mode Mode) Config {
@@ -116,6 +152,11 @@ type Stack struct {
 	sched    *sched.Scheduler
 	fallback *sched.Tenant
 
+	// Online cost calibration (Config.Calibrate): the observed
+	// service-time estimator and the billing it currently implies.
+	svc               *metrics.Estimator
+	calRead, calWrite int
+
 	outstanding int
 	waitq       []func()
 	closed      bool
@@ -133,7 +174,16 @@ func New(eng *sim.Engine, dev ssd.Dev, cfg Config) (*Stack, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 32
 	}
+	if cfg.MaxCostRatio <= 0 {
+		cfg.MaxCostRatio = 64
+	}
+	if cfg.CalibrateWindow <= 0 {
+		cfg.CalibrateWindow = 2 * sim.Millisecond
+	}
 	s := &Stack{eng: eng, dev: dev, cfg: cfg}
+	if cfg.Calibrate {
+		s.svc = metrics.NewEstimator(int64(cfg.CalibrateWindow), 4, 0.1)
+	}
 	for i := 0; i < cfg.CPUs; i++ {
 		s.cpus = append(s.cpus, sim.NewServer(eng, fmt.Sprintf("cpu%d", i)))
 	}
@@ -276,8 +326,15 @@ func (s *Stack) toDevice(cpu int, req Request) {
 	s.dispatch(cpu, req)
 }
 
-// costOf maps an op to its scheduler charge.
+// costOf maps an op to its scheduler charge: the calibrated billing
+// once the estimator is seeded, the static config costs until then.
 func (s *Stack) costOf(op Op) int {
+	if s.calRead > 0 {
+		if op == OpWrite {
+			return s.calWrite
+		}
+		return s.calRead
+	}
 	switch op {
 	case OpWrite:
 		return s.cfg.WriteCost
@@ -285,6 +342,75 @@ func (s *Stack) costOf(op Op) int {
 		return s.cfg.ReadCost
 	}
 }
+
+// observe feeds one completed request's device service time into the
+// estimator and re-derives the DRR billing. The cheaper op class is
+// billed costGrain units, the dearer one costGrain times the observed
+// EWMA ratio (clamped to MaxCostRatio), so billing tracks what the
+// device is doing now — a device whose programs slow under aging bills
+// writes more, automatically, and recovers just as automatically.
+func (s *Stack) observe(op Op, start sim.Time) {
+	if s.svc == nil || op == OpFlush {
+		return
+	}
+	class := SvcRead
+	if op == OpWrite {
+		class = SvcWrite
+	}
+	now := s.eng.Now()
+	s.svc.Record(class, int64(now), int64(now-start))
+	r, w := s.svc.Class(SvcRead), s.svc.Class(SvcWrite)
+	if r.Count() < calSeedSamples || w.Count() < calSeedSamples {
+		return // still on the seed billing
+	}
+	// Roll both windows to now first: a class that went quiet must age
+	// out of its own window rather than freeze a stale mean into the
+	// ratio. Then bill from the rolling window when it holds enough of
+	// both classes — it forgets the device's former self completely,
+	// where the EWMA (the fallback for thin windows) carries decayed
+	// memory of it.
+	r.Observe(int64(now))
+	w.Observe(int64(now))
+	rm, wm := r.EWMA(), w.EWMA()
+	if r.WindowCount() >= calSeedSamples && w.WindowCount() >= calSeedSamples {
+		rm, wm = r.Mean(), w.Mean()
+	}
+	ratio := wm / rm
+	if limit := float64(s.cfg.MaxCostRatio); ratio > limit {
+		ratio = limit
+	} else if ratio < 1/limit {
+		ratio = 1 / limit
+	}
+	if ratio >= 1 {
+		s.calRead = costGrain
+		s.calWrite = int(math.Round(costGrain * ratio))
+	} else {
+		s.calRead = int(math.Round(costGrain / ratio))
+		s.calWrite = costGrain
+	}
+}
+
+// CalibratedCosts reports the billing currently charged per read and
+// write in DRR units. Before the estimator seeds (or with Calibrate
+// off) it reports the static config costs, floored at 1 the way
+// sched.Enqueue bills them.
+func (s *Stack) CalibratedCosts() (read, write int) {
+	read, write = s.cfg.ReadCost, s.cfg.WriteCost
+	if s.calRead > 0 {
+		read, write = s.calRead, s.calWrite
+	}
+	if read < 1 {
+		read = 1
+	}
+	if write < 1 {
+		write = 1
+	}
+	return read, write
+}
+
+// ServiceEstimator exposes the observed device service-time estimator
+// (classes SvcRead/SvcWrite), or nil with Calibrate off.
+func (s *Stack) ServiceEstimator() *metrics.Estimator { return s.svc }
 
 // pump pulls scheduled requests into free device-queue slots. It is the
 // scheduler's kick target, so it also runs when rate tokens refill or
@@ -309,8 +435,16 @@ func (s *Stack) dispatch(cpu int, req Request) {
 		return
 	}
 	s.outstanding++
+	issued := s.eng.Now()
 	complete := func(data []byte, err error) {
 		s.outstanding--
+		if err == nil {
+			// The span from device issue to completion is the service
+			// time the host can actually observe through the interface —
+			// queueing inside the device included, by design: that *is*
+			// what an op of this class costs the host right now.
+			s.observe(req.Op, issued)
+		}
 		if len(s.waitq) > 0 {
 			next := s.waitq[0]
 			s.waitq = s.waitq[0:copy(s.waitq, s.waitq[1:])]

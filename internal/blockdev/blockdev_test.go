@@ -358,6 +358,106 @@ func TestUntaggedTrafficCannotStarveTenants(t *testing.T) {
 	}
 }
 
+// fixedDev is a device with exactly known service times, so the cost
+// calibrator can be tested against a configured ground truth.
+type fixedDev struct {
+	eng               *sim.Engine
+	readLat, writeLat sim.Time
+	m                 ssd.DeviceMetrics
+}
+
+func (d *fixedDev) Name() string                { return "fixed" }
+func (d *fixedDev) PageSize() int               { return 4096 }
+func (d *fixedDev) Capacity() int64             { return 1 << 20 }
+func (d *fixedDev) Trim(int64) error            { return nil }
+func (d *fixedDev) Flush(done func())           { d.eng.After(d.readLat, done) }
+func (d *fixedDev) Metrics() *ssd.DeviceMetrics { return &d.m }
+func (d *fixedDev) Read(_ int64, done func([]byte, error)) {
+	d.eng.After(d.readLat, func() { done(nil, nil) })
+}
+func (d *fixedDev) Write(_ int64, _ []byte, done func(error)) {
+	d.eng.After(d.writeLat, func() { done(nil) })
+}
+
+// driveMixed issues alternating read/write singles so each request's
+// observed service time is exactly the device latency (depth 1: no
+// queueing inside the device).
+func driveMixed(eng *sim.Engine, s *Stack, n int) {
+	eng.Go(func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			if i%2 == 0 {
+				if _, err := s.ReadSync(p, 0, int64(i)); err != nil {
+					panic(err)
+				}
+			} else {
+				if err := s.WriteSync(p, 0, int64(i), nil); err != nil {
+					panic(err)
+				}
+			}
+		}
+	})
+	eng.Run()
+}
+
+// TestCostCalibrationConvergesToConfiguredRatio drives a stack over a
+// device with a known 6:1 write:read service ratio: the calibrated DRR
+// billing must converge to that ratio (within bucket resolution), then
+// track the device when it ages mid-run to 15:1 — with the static
+// WriteCost seed visible only before the estimator warms up.
+func TestCostCalibrationConvergesToConfiguredRatio(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := &fixedDev{eng: eng, readLat: 50 * sim.Microsecond, writeLat: 300 * sim.Microsecond}
+	cfg := DefaultConfig(Direct)
+	cfg.ReadCost = 1
+	cfg.WriteCost = 16
+	cfg.Calibrate = true
+	s, err := New(eng, dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed billing before any samples: the static costs.
+	if r, w := s.CalibratedCosts(); r != 1 || w != 16 {
+		t.Fatalf("seed costs = %d/%d, want 1/16", r, w)
+	}
+	driveMixed(eng, s, 200)
+	r, w := s.CalibratedCosts()
+	ratio := float64(w) / float64(r)
+	if ratio < 5.0 || ratio > 7.0 {
+		t.Fatalf("calibrated ratio = %.2f (%d/%d), want ~6", ratio, w, r)
+	}
+	// The device ages: writes now cost 15x reads. The EWMA window must
+	// pull the billing to the new truth.
+	dev.writeLat = 750 * sim.Microsecond
+	driveMixed(eng, s, 200)
+	r, w = s.CalibratedCosts()
+	ratio = float64(w) / float64(r)
+	if ratio < 12.0 || ratio > 18.0 {
+		t.Fatalf("post-aging ratio = %.2f (%d/%d), want ~15", ratio, w, r)
+	}
+	if s.ServiceEstimator() == nil {
+		t.Fatal("calibrating stack must expose its estimator")
+	}
+}
+
+// TestCostCalibrationClampsRatio bounds the billing no matter how
+// extreme the observed service ratio gets.
+func TestCostCalibrationClampsRatio(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := &fixedDev{eng: eng, readLat: 1 * sim.Microsecond, writeLat: 10 * sim.Millisecond}
+	cfg := DefaultConfig(Direct)
+	cfg.Calibrate = true
+	cfg.MaxCostRatio = 32
+	s, err := New(eng, dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveMixed(eng, s, 100)
+	r, w := s.CalibratedCosts()
+	if got := float64(w) / float64(r); got > 32.5 {
+		t.Fatalf("ratio %.1f exceeds MaxCostRatio 32", got)
+	}
+}
+
 // TestGCControlRequiresControllableGC: the GC shaping surface is only
 // exposed for devices whose GC the host can actually shape. PCM has no
 // GC at all; a 2008 hybrid-FTL device carries the control methods but

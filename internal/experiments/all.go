@@ -25,4 +25,5 @@ var All = []Runner{
 	{"E15", E15TenantIsolation},
 	{"E16", E16ServingFabric},
 	{"E17", E17GCCoordination},
+	{"E18", E18AdaptiveControlPlane},
 }

@@ -93,6 +93,11 @@ func E16ServingFabric(scale Scale) (*Result, error) {
 	res.Finding = fmt.Sprintf(
 		"at 16 shards every stack/mix overload run rejects at admission (min %d rejects) and holds the served deadline-miss rate at %.0f%% worst case versus %.0f%% without admission control, with per-shard backlog capped at the queue limit",
 		minRejects16, 100*worstOnMiss, 100*worstOffMiss)
+	res.Headline = map[string]float64{
+		"worst_miss_pct_off_16": 100 * worstOffMiss,
+		"worst_miss_pct_on_16":  100 * worstOnMiss,
+		"min_rejects_16":        float64(minRejects16),
+	}
 	return res, nil
 }
 

@@ -89,6 +89,14 @@ func E17GCCoordination(scale Scale) (*Result, error) {
 		"at 16 shards coordination cuts the latency tenant's p99 up to %.2fx (%s: miss rate %.0f%%→%.0f%%); across the 16-shard runs the devices granted %d deferral sessions (+%d renewals), the floor forced %d collections, and headroom never dropped below %d pages — the floor held",
 		bestGain, bestMode, 100*bestMissOff, 100*bestMissOn,
 		total16.Defers, total16.Renewals, total16.FloorHits, total16.MinHeadroomPages)
+	res.Headline = map[string]float64{
+		"best_p99_gain_16":      bestGain,
+		"best_miss_pct_off_16":  100 * bestMissOff,
+		"best_miss_pct_on_16":   100 * bestMissOn,
+		"defers_16":             float64(total16.Defers),
+		"floor_hits_16":         float64(total16.FloorHits),
+		"min_headroom_pages_16": float64(total16.MinHeadroomPages),
+	}
 	return res, nil
 }
 

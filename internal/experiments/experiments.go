@@ -42,6 +42,11 @@ type Result struct {
 	Tables  []*metrics.Table
 	Figures []string // rendered ASCII charts
 	Finding string   // one-line measured outcome
+	// Headline carries the machine-readable metrics behind Finding
+	// (metric name → value), emitted by cmd/deathbench -json so the
+	// bench trajectory can be captured per run without screen-scraping
+	// tables. Experiments fill what they headline; nil is fine.
+	Headline map[string]float64
 }
 
 // String renders the result for terminal output.

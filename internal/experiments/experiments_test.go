@@ -287,8 +287,8 @@ func TestE14MatrixSeparatesGenerations(t *testing.T) {
 }
 
 func TestAllRunnersListed(t *testing.T) {
-	if len(All) != 17 {
-		t.Fatalf("All has %d runners, want 17", len(All))
+	if len(All) != 18 {
+		t.Fatalf("All has %d runners, want 18", len(All))
 	}
 	seen := map[string]bool{}
 	for _, r := range All {
@@ -447,5 +447,76 @@ func TestE17CoordinationImprovesTail(t *testing.T) {
 	}
 	if !improved {
 		t.Error("no 16-shard stack mode improved ls p99 with coordination on")
+	}
+}
+
+func TestE18AdaptivePlaneTracksAgingDevices(t *testing.T) {
+	r, err := E18AdaptiveControlPlane(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 4 {
+		t.Fatalf("tables = %d, want comparison + controller state + two per-tenant histograms", len(r.Tables))
+	}
+	tb := r.Tables[0]
+	if tb.Rows() != 9 {
+		t.Fatalf("comparison rows = %d, want 3 stacks x 3 shard counts", tb.Rows())
+	}
+	missImproved := 0
+	for row := 0; row < tb.Rows(); row++ {
+		label := tb.Cell(row, 0) + "/" + tb.Cell(row, 1)
+		// The feedback plane must engage everywhere: early drops flow,
+		// billing calibrates away from parity.
+		if edrops := cellFloat(t, tb.Cell(row, 8)); edrops <= 0 {
+			t.Errorf("%s: adaptive admission never early-dropped", label)
+		}
+		if cal := cellFloat(t, tb.Cell(row, 9)); cal <= 1 {
+			t.Errorf("%s: calibrated write:read ratio %v never left parity", label, cal)
+		}
+		// The adaptive plane exists to turn late yeses into early nos:
+		// the miss rate must drop on the clear majority of
+		// configurations, and a noisy row may regress only within
+		// quick-scale noise (the windows are half the full-scale span;
+		// at full scale every row improves).
+		missSt := cellFloat(t, tb.Cell(row, 6))
+		missAd := cellFloat(t, tb.Cell(row, 7))
+		if missAd < missSt {
+			missImproved++
+		} else if missAd > missSt+6 {
+			t.Errorf("%s: adaptive miss rate %v%% well above static %v%%", label, missAd, missSt)
+		}
+		// At 1 shard (clean signal, no cross-shard noise) the served
+		// latency tail must improve outright.
+		if cellFloat(t, tb.Cell(row, 1)) == 1 {
+			p99St := cellFloat(t, tb.Cell(row, 4))
+			p99Ad := cellFloat(t, tb.Cell(row, 5))
+			if p99Ad >= p99St {
+				t.Errorf("%s: adaptive ls p99 %vµs not below static %vµs", label, p99Ad, p99St)
+			}
+		}
+	}
+	if missImproved < 7 {
+		t.Errorf("miss rate improved on only %d of 9 configurations", missImproved)
+	}
+	// Headline metrics back the acceptance numbers: calibration within
+	// tolerance at full overload and a quiet controller tail. Quick
+	// scale is far noisier than full — the settled truth span is 10ms
+	// and holds a handful of writes — so this bound is much looser
+	// than the full-scale acceptance bar (25%, measured at ~18%).
+	if got := r.Headline["worst_cal_ratio_err_16"]; got > 0.6 {
+		t.Errorf("worst 16-shard calibration error %.0f%% exceeds 60%%", 100*got)
+	}
+	if got := r.Headline["stacks_at_or_better_16"]; got < 1 {
+		t.Errorf("no stack held the static p99 at 16 shards (%v)", got)
+	}
+	for _, mode := range []string{"SingleQueue", "MultiQueue", "Direct"} {
+		walks := r.Headline["autoscale_walks_"+mode]
+		tail := r.Headline["autoscale_tail_walks_"+mode]
+		if walks <= 0 {
+			t.Errorf("%s/16: controller never walked", mode)
+		}
+		if tail >= walks/2 {
+			t.Errorf("%s/16: %v of %v walks in the final quarter — not converging", mode, tail, walks)
+		}
 	}
 }

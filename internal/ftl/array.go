@@ -291,6 +291,16 @@ func (a *Array) CopyPage(src, dst PPA, done func(ok bool)) {
 	})
 }
 
+// SetTimingScale applies a service-time drift to every chip in the
+// array (see nand.Chip.SetTimingScale): the fabric-wide aging knob
+// experiments use to slow a device mid-run and watch the host's
+// calibration follow.
+func (a *Array) SetTimingScale(read, program, erase float64) {
+	for _, c := range a.chips {
+		c.SetTimingScale(read, program, erase)
+	}
+}
+
 // LUNFreeAt reports when the LUN holding PPA p frees up — the signal the
 // write scheduler uses to pick the least-busy chip.
 func (a *Array) LUNFreeAt(chip, lun int) sim.Time {

@@ -21,6 +21,7 @@ const subBuckets = 32
 // in logarithmic buckets. The zero value is ready to use.
 type Histogram struct {
 	counts map[int]int64
+	keys   []int // occupied buckets, always sorted ascending
 	n      int64
 	sum    int64
 	min    int64
@@ -52,6 +53,20 @@ func bucketLow(b int) int64 {
 	return (int64(subBuckets) + int64(within)) << uint(exp-log2SubBuckets)
 }
 
+// addBucket credits c samples to bucket b, keeping the sorted key list
+// current. New buckets are rare after warm-up (the bucket universe is
+// small and log-spaced), so the occasional sorted insert amortizes to
+// nothing — and Quantile never has to sort.
+func (h *Histogram) addBucket(b int, c int64) {
+	if _, ok := h.counts[b]; !ok {
+		i := sort.SearchInts(h.keys, b)
+		h.keys = append(h.keys, 0)
+		copy(h.keys[i+1:], h.keys[i:])
+		h.keys[i] = b
+	}
+	h.counts[b] += c
+}
+
 // Record adds one sample. Negative samples are clamped to zero.
 func (h *Histogram) Record(v int64) {
 	if v < 0 {
@@ -61,7 +76,7 @@ func (h *Histogram) Record(v int64) {
 		h.counts = make(map[int]int64)
 		h.min = math.MaxInt64
 	}
-	h.counts[bucketOf(v)]++
+	h.addBucket(bucketOf(v), 1)
 	h.n++
 	h.sum += v
 	if v < h.min {
@@ -113,13 +128,8 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if target < 1 {
 		target = 1
 	}
-	keys := make([]int, 0, len(h.counts))
-	for k := range h.counts {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
 	var cum int64
-	for _, k := range keys {
+	for _, k := range h.keys {
 		cum += h.counts[k]
 		if cum >= target {
 			lo := bucketLow(k)
@@ -153,8 +163,8 @@ func (h *Histogram) Merge(other *Histogram) {
 		h.counts = make(map[int]int64)
 		h.min = math.MaxInt64
 	}
-	for k, c := range other.counts {
-		h.counts[k] += c
+	for _, k := range other.keys {
+		h.addBucket(k, other.counts[k])
 	}
 	h.n += other.n
 	h.sum += other.sum
@@ -169,6 +179,7 @@ func (h *Histogram) Merge(other *Histogram) {
 // Reset discards all samples.
 func (h *Histogram) Reset() {
 	h.counts = nil
+	h.keys = nil
 	h.n, h.sum, h.min, h.max = 0, 0, 0, 0
 }
 
@@ -184,17 +195,14 @@ func (h *Histogram) Bar(width int) string {
 	if h.n == 0 || width <= 0 {
 		return "(empty)"
 	}
-	keys := make([]int, 0, len(h.counts))
 	var maxC int64
-	for k, c := range h.counts {
-		keys = append(keys, k)
+	for _, c := range h.counts {
 		if c > maxC {
 			maxC = c
 		}
 	}
-	sort.Ints(keys)
 	var b strings.Builder
-	for _, k := range keys {
+	for _, k := range h.keys {
 		c := h.counts[k]
 		bar := int(float64(width) * float64(c) / float64(maxC))
 		if bar == 0 {

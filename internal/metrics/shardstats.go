@@ -11,9 +11,14 @@ type ShardCounters struct {
 	Submitted int64
 	// Admitted counts requests accepted into the shard queue.
 	Admitted int64
-	// Rejected counts requests refused at admission (queue full or
-	// token bucket empty).
+	// Rejected counts requests refused at admission (queue full, token
+	// bucket empty, or predicted to miss — every refusal, whatever the
+	// reason).
 	Rejected int64
+	// EarlyDropped counts the subset of Rejected refused by the
+	// p99-aware early drop: the observed service-time distribution said
+	// the request's queue position already implied a deadline miss.
+	EarlyDropped int64
 	// Dropped counts admitted requests abandoned unserved (fabric
 	// stopped with a backlog).
 	Dropped int64
@@ -34,6 +39,7 @@ func (c *ShardCounters) Add(other ShardCounters) {
 	c.Submitted += other.Submitted
 	c.Admitted += other.Admitted
 	c.Rejected += other.Rejected
+	c.EarlyDropped += other.EarlyDropped
 	c.Dropped += other.Dropped
 	c.Served += other.Served
 	c.Failed += other.Failed
@@ -103,9 +109,9 @@ func (s *ShardStats) Reset() {
 // Table renders one row per shard plus a totals row: submissions,
 // admission outcomes, deadline misses and queue high-water.
 func (s *ShardStats) Table(title string) *Table {
-	tbl := NewTable(title, "shard", "submitted", "admitted", "rejected", "dropped", "served", "failed", "misses", "rej %", "miss %", "max q")
+	tbl := NewTable(title, "shard", "submitted", "admitted", "rejected", "edrop", "dropped", "served", "failed", "misses", "rej %", "miss %", "max q")
 	row := func(name string, c ShardCounters) {
-		tbl.AddRow(name, c.Submitted, c.Admitted, c.Rejected, c.Dropped, c.Served, c.Failed, c.DeadlineMissed,
+		tbl.AddRow(name, c.Submitted, c.Admitted, c.Rejected, c.EarlyDropped, c.Dropped, c.Served, c.Failed, c.DeadlineMissed,
 			fmt.Sprintf("%.1f", 100*c.RejectRate()),
 			fmt.Sprintf("%.1f", 100*c.MissRate()),
 			c.MaxQueue)

@@ -75,6 +75,10 @@ type Chip struct {
 	spec Spec
 	luns []*lun
 
+	// baseTiming preserves the datasheet latencies so SetTimingScale
+	// composes from a fixed origin instead of compounding.
+	baseTiming Timing
+
 	stats Stats
 }
 
@@ -85,7 +89,7 @@ func NewChip(eng *sim.Engine, spec Spec, rng *sim.RNG, name string) (*Chip, erro
 	if err := spec.Geometry.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Chip{eng: eng, rng: rng, spec: spec}
+	c := &Chip{eng: eng, rng: rng, spec: spec, baseTiming: spec.Timing}
 	g := spec.Geometry
 	for l := 0; l < g.LUNsPerChip; l++ {
 		lu := &lun{srv: sim.NewServer(eng, fmt.Sprintf("%s/lun%d", name, l))}
@@ -105,8 +109,28 @@ func NewChip(eng *sim.Engine, spec Spec, rng *sim.RNG, name string) (*Chip, erro
 	return c, nil
 }
 
-// Spec returns the chip's parameterization.
+// Spec returns the chip's parameterization. Timing reflects the current
+// effective latencies (after any SetTimingScale), not the datasheet.
 func (c *Chip) Spec() Spec { return c.spec }
+
+// SetTimingScale multiplies the chip's datasheet operation latencies by
+// the given factors — the service-time drift of an aging part (reads
+// slow a little as ECC retries mount; programs and erases slow a lot as
+// cells wear). Factors apply to the original datasheet timing, so
+// repeated calls replace rather than compound; a factor <= 0 restores
+// that operation's datasheet timing. Operations already in flight keep
+// the latency they started with.
+func (c *Chip) SetTimingScale(read, program, erase float64) {
+	scale := func(t sim.Time, f float64) sim.Time {
+		if f <= 0 {
+			return t
+		}
+		return sim.Time(float64(t) * f)
+	}
+	c.spec.Timing.ReadPage = scale(c.baseTiming.ReadPage, read)
+	c.spec.Timing.ProgramPage = scale(c.baseTiming.ProgramPage, program)
+	c.spec.Timing.EraseBlock = scale(c.baseTiming.EraseBlock, erase)
+}
 
 // Geometry returns the chip's layout.
 func (c *Chip) Geometry() Geometry { return c.spec.Geometry }

@@ -53,6 +53,10 @@
 // lease, renewed while the burst persists) and releases the lease when
 // the burst drains. The device bounds every lease with its own
 // free-pool floor, so the host can be greedy without being dangerous.
+// With Config.GCLeaseAdaptive the slice is sized by the device's
+// reported urgency on every lease decision (full when relaxed, half
+// when elevated, declined without a round-trip when urgent — the
+// adaptive control plane's GC loop, measured by E18).
 // GCCoord returns the host-side control-traffic ledger.
 //
 // The scheduler is pull-based: a downstream stack (package blockdev)

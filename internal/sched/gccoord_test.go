@@ -3,6 +3,7 @@ package sched
 import (
 	"testing"
 
+	"repro/internal/ftl"
 	"repro/internal/sim"
 )
 
@@ -14,6 +15,15 @@ type fakeGCControl struct {
 	until   sim.Time
 	refuse  bool
 }
+
+// fakeGCProbe is a fakeGCControl that also reports urgency (the
+// adaptive lease policy's input).
+type fakeGCProbe struct {
+	fakeGCControl
+	urgency ftl.GCUrgency
+}
+
+func (c *fakeGCProbe) GCUrgency() ftl.GCUrgency { return c.urgency }
 
 func (c *fakeGCControl) DeferGC(deadline sim.Time) bool {
 	c.defers++
@@ -101,6 +111,73 @@ func TestGCCoordinationHandlesRefusal(t *testing.T) {
 	eng.Run()
 	if ctl.resumes != 0 {
 		t.Fatalf("resumed a lease that was never granted (%d)", ctl.resumes)
+	}
+}
+
+// TestGCLeaseAdaptiveSizing checks the urgency-driven lease policy: a
+// relaxed device gets the full slice, an elevated one half, and an
+// urgent one is not asked at all (declined locally, with backoff, and
+// accounted in the ledger).
+func TestGCLeaseAdaptiveSizing(t *testing.T) {
+	lease := func(urgency ftl.GCUrgency) (*Scheduler, *fakeGCProbe, sim.Time) {
+		eng := sim.NewEngine()
+		cfg := DefaultConfig()
+		cfg.GCCoordinate = true
+		cfg.GCLeaseAdaptive = true
+		cfg.GCDeferSlice = sim.Millisecond
+		sc := New(eng, cfg)
+		ctl := &fakeGCProbe{urgency: urgency}
+		sc.SetGCControl(ctl)
+		r := newRig(eng, sc, 1, 100*sim.Microsecond)
+		ls := sc.AddTenant("ls", LatencySensitive, 1)
+		r.enqueueN(ls, 2)
+		return sc, ctl, eng.Now()
+	}
+
+	sc, ctl, now := lease(ftl.GCRelaxed)
+	if ctl.defers != 1 || ctl.until != now+sim.Millisecond {
+		t.Fatalf("relaxed: defers=%d until=%v, want full 1ms slice", ctl.defers, ctl.until)
+	}
+	if sc.GCDeferDeclined != 0 {
+		t.Fatalf("relaxed: declined %d leases", sc.GCDeferDeclined)
+	}
+
+	_, ctl, now = lease(ftl.GCElevated)
+	if ctl.defers != 1 || ctl.until != now+sim.Millisecond/2 {
+		t.Fatalf("elevated: defers=%d until=%v, want half slice", ctl.defers, ctl.until)
+	}
+
+	sc, ctl, _ = lease(ftl.GCUrgent)
+	if ctl.defers != 0 {
+		t.Fatalf("urgent: device was asked %d times, want 0 (declined locally)", ctl.defers)
+	}
+	if sc.GCDeferDeclined == 0 {
+		t.Fatal("urgent: decline not accounted")
+	}
+	if g := sc.GCCoord(); g.HostDeclined != sc.GCDeferDeclined {
+		t.Fatalf("ledger HostDeclined = %d, counter %d", g.HostDeclined, sc.GCDeferDeclined)
+	}
+	if sc.GCCoordActive() {
+		t.Fatal("urgent: lease recorded active without a grant")
+	}
+}
+
+// TestGCLeaseAdaptiveWithoutProbe: a control surface that cannot report
+// urgency is driven exactly like the fixed-slice policy.
+func TestGCLeaseAdaptiveWithoutProbe(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.GCCoordinate = true
+	cfg.GCLeaseAdaptive = true
+	cfg.GCDeferSlice = sim.Millisecond
+	sc := New(eng, cfg)
+	ctl := &fakeGCControl{}
+	sc.SetGCControl(ctl)
+	r := newRig(eng, sc, 1, 100*sim.Microsecond)
+	ls := sc.AddTenant("ls", LatencySensitive, 1)
+	r.enqueueN(ls, 2)
+	if ctl.defers != 1 || ctl.until != eng.Now()+sim.Millisecond {
+		t.Fatalf("probe-less adaptive: defers=%d until=%v, want full slice", ctl.defers, ctl.until)
 	}
 }
 

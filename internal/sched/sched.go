@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 
+	"repro/internal/ftl"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
@@ -62,6 +63,14 @@ type Config struct {
 	// above which the scheduler leases a deferral. Zero means 1: any
 	// latency-class request waiting is reason to hold background GC.
 	GCDeferBacklog int
+	// GCLeaseAdaptive sizes each lease by the device's reported
+	// reclamation pressure instead of the fixed GCDeferSlice: the
+	// scheduler polls GCUrgency on every lease decision (when the
+	// control surface exposes it — see GCUrgencyProbe) and asks for the
+	// full slice from a relaxed device, half a slice from an elevated
+	// one, and nothing at all from an urgent one — declining locally
+	// instead of spending a round-trip the device would refuse.
+	GCLeaseAdaptive bool
 }
 
 // DefaultConfig returns the standard scheduler parameters.
@@ -253,6 +262,7 @@ type Scheduler struct {
 	gcctl        GCControl
 	gcDeferUntil sim.Time
 	gcRetryAt    sim.Time
+	gcLeaseSlice sim.Time // length of the currently granted lease
 
 	// GCDeferrals counts throughput requests held back at least once by
 	// the GC-aware policy.
@@ -264,6 +274,11 @@ type Scheduler struct {
 	GCDeferRequests  int64
 	GCDeferRefused   int64
 	GCResumeRequests int64
+	// GCDeferDeclined counts lease decisions the adaptive policy
+	// (Config.GCLeaseAdaptive) skipped because the device reported
+	// itself urgent — requests that were never sent because the answer
+	// was already known.
+	GCDeferDeclined int64
 }
 
 // GCControl is what the scheduler needs from a device to shape its
@@ -278,6 +293,15 @@ type GCControl interface {
 	DeferGC(deadline sim.Time) bool
 	// ResumeGC releases an active deferral early.
 	ResumeGC()
+}
+
+// GCUrgencyProbe is the optional pressure-reporting half of the control
+// surface: devices that can say how much deferral headroom remains
+// (ssd.Device forwards ftl.PageFTL's urgency) let an adaptive scheduler
+// size its leases — the GCLeaseAdaptive policy. A GCControl without the
+// probe is driven with fixed slices.
+type GCUrgencyProbe interface {
+	GCUrgency() ftl.GCUrgency
 }
 
 // New builds a scheduler on eng.
@@ -312,23 +336,54 @@ func (s *Scheduler) GCCoordActive() bool { return s.gcDeferUntil > s.eng.Now() }
 // and on pops that leave the backlog above the threshold, so a burst
 // that drains slowly keeps its lease alive. Leases are renewed once
 // the previous one is at least half spent, and a refusal backs off for
-// the same half-slice, so the control traffic stays O(1) per lease
-// rather than per request.
+// half a slice, so the control traffic stays O(1) per lease rather
+// than per request. With GCLeaseAdaptive the slice itself is sized by
+// the device's reported headroom on every lease decision.
 func (s *Scheduler) maybeDeferGC() {
 	if !s.cfg.GCCoordinate || s.gcctl == nil || s.latencyBacklog < s.cfg.GCDeferBacklog {
 		return
 	}
 	now := s.eng.Now()
-	if s.gcDeferUntil-now > s.cfg.GCDeferSlice/2 {
+	if now < s.gcRetryAt {
+		return // the device refused (or we declined) recently; don't spam it
+	}
+	// Freshness is judged against the length of the lease actually
+	// granted (an elevated-urgency half-slice renews at its own
+	// half-life), and gates everything below: urgency is polled only
+	// when a lease decision is due, so a momentarily urgent device
+	// under a fresh lease neither inflates the declined ledger nor
+	// backs off a renewal that was not yet wanted.
+	fresh := s.gcLeaseSlice
+	if fresh <= 0 {
+		fresh = s.cfg.GCDeferSlice
+	}
+	if s.gcDeferUntil-now > fresh/2 {
 		return // current lease still fresh
 	}
-	if now < s.gcRetryAt {
-		return // the device refused recently; don't spam it
+	slice := s.cfg.GCDeferSlice
+	if s.cfg.GCLeaseAdaptive {
+		if probe, ok := s.gcctl.(GCUrgencyProbe); ok {
+			switch probe.GCUrgency() {
+			case ftl.GCUrgent:
+				// No headroom: the device would refuse anyway. Declining
+				// locally skips the doomed round-trip and backs off the
+				// same way a refusal would.
+				s.GCDeferDeclined++
+				s.gcRetryAt = now + s.cfg.GCDeferSlice/2
+				return
+			case ftl.GCElevated:
+				// GC already wants to run: every deferred instant spends
+				// real free-pool headroom, so lease in half slices and
+				// re-poll sooner.
+				slice /= 2
+			}
+		}
 	}
-	until := now + s.cfg.GCDeferSlice
+	until := now + slice
 	s.GCDeferRequests++
 	if s.gcctl.DeferGC(until) {
 		s.gcDeferUntil = until
+		s.gcLeaseSlice = slice
 	} else {
 		s.GCDeferRefused++
 		s.gcRetryAt = now + s.cfg.GCDeferSlice/2
@@ -341,6 +396,7 @@ func (s *Scheduler) GCCoord() metrics.GCCoord {
 	g := metrics.NewGCCoord()
 	g.HostRequests = s.GCDeferRequests
 	g.HostResumes = s.GCResumeRequests
+	g.HostDeclined = s.GCDeferDeclined
 	return g
 }
 

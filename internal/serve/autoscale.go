@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// AutoscaleConfig bounds the fabric's SLO controller. The controller
+// is the actuation half of the control plane at the serving boundary:
+// it reads each shard's interval deadline-miss and reject rates (the
+// same ShardStats the experiments print) and walks that shard's worker
+// pool and admission token rate inside these bounds — capacity follows
+// the observed SLO instead of a provisioning guess.
+type AutoscaleConfig struct {
+	// Enabled turns the controller on.
+	Enabled bool
+	// Interval is the control period (zero = 5ms). Each tick looks only
+	// at the interval's delta counters, so old sins age out.
+	Interval sim.Time
+	// MinWorkers and MaxWorkers bound the per-shard worker pool (zeros
+	// mean 1 and 4 × WorkersPerShard).
+	MinWorkers, MaxWorkers int
+	// MissHigh and MissLow are the deadband on the interval miss rate:
+	// above MissHigh the controller adds capacity (or sheds load at the
+	// worker ceiling), below MissLow it may return capacity. Inside the
+	// band it does nothing — a steady workload must not make a steady
+	// controller fidget. Zeros mean 0.10 and 0.02.
+	MissHigh, MissLow float64
+	// RateStep is the multiplicative step for admission-rate walks
+	// (zero = 1.25). MinRate and MaxRate bound the walked rate (zeros
+	// mean 1/4 and 4 × Admission.Rate); with no admission rate
+	// configured the controller leaves rates alone.
+	RateStep         float64
+	MinRate, MaxRate float64
+	// Cooldown is how many intervals the controller holds a shard after
+	// changing it (zero = 2): every actuation must be observed through
+	// at least one full interval before the next, which is what keeps a
+	// marginal shard from flapping between two sizes.
+	Cooldown int
+}
+
+// Autoscaler drives the per-shard control loop. Its counters are the
+// oscillation evidence experiments quote: a converging controller
+// shows a short burst of walks and then silence.
+type Autoscaler struct {
+	fab  *Fabric
+	cfg  AutoscaleConfig
+	prev []metrics.ShardCounters // last tick's counter snapshot
+	hold []int                   // cooldown intervals remaining
+
+	// Grows/Shrinks count worker-pool walks; RateUps/RateDowns count
+	// admission-rate walks; Ticks counts control periods.
+	Grows, Shrinks, RateUps, RateDowns, Ticks int64
+}
+
+// newAutoscaler applies defaults against the fabric's (already
+// defaulted) config.
+func newAutoscaler(f *Fabric, cfg AutoscaleConfig) *Autoscaler {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 5 * sim.Millisecond
+	}
+	if cfg.MinWorkers < 1 {
+		cfg.MinWorkers = 1
+	}
+	if cfg.MaxWorkers <= 0 {
+		cfg.MaxWorkers = 4 * f.cfg.WorkersPerShard
+	}
+	if cfg.MaxWorkers < cfg.MinWorkers {
+		cfg.MaxWorkers = cfg.MinWorkers
+	}
+	if cfg.MissHigh <= 0 {
+		cfg.MissHigh = 0.10
+	}
+	if cfg.MissLow <= 0 {
+		cfg.MissLow = 0.02
+	}
+	if cfg.RateStep <= 1 {
+		cfg.RateStep = 1.25
+	}
+	if base := f.cfg.Admission.Rate; base > 0 {
+		if cfg.MinRate <= 0 {
+			cfg.MinRate = base / 4
+		}
+		if cfg.MaxRate <= 0 {
+			cfg.MaxRate = base * 4
+		}
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 2
+	}
+	return &Autoscaler{
+		fab:  f,
+		cfg:  cfg,
+		prev: make([]metrics.ShardCounters, len(f.shards)),
+		hold: make([]int, len(f.shards)),
+	}
+}
+
+// Config reports the controller's bounds after defaulting.
+func (a *Autoscaler) Config() AutoscaleConfig { return a.cfg }
+
+// Walks sums every actuation the controller ever made — the number an
+// oscillation check bounds.
+func (a *Autoscaler) Walks() int64 { return a.Grows + a.Shrinks + a.RateUps + a.RateDowns }
+
+// run is the controller process: one tick per interval until the
+// fabric stops.
+func (a *Autoscaler) run(p *sim.Proc) {
+	for !a.fab.stopped {
+		p.Sleep(a.cfg.Interval)
+		if a.fab.stopped {
+			return
+		}
+		if a.fab.crashing {
+			continue // never rescale a fabric mid-recovery
+		}
+		a.Ticks++
+		for i, sh := range a.fab.shards {
+			a.tickShard(i, sh)
+		}
+	}
+}
+
+// tickShard makes one control decision for one shard from its interval
+// delta counters.
+func (a *Autoscaler) tickShard(i int, sh *Shard) {
+	cur := *sh.stats
+	d := cur
+	p := a.prev[i]
+	d.Submitted -= p.Submitted
+	d.Served -= p.Served
+	d.Rejected -= p.Rejected
+	d.DeadlineMissed -= p.DeadlineMissed
+	a.prev[i] = cur
+
+	if a.hold[i] > 0 {
+		a.hold[i]--
+		return
+	}
+	if d.Submitted < 0 || d.Served < 0 || d.Rejected < 0 || d.DeadlineMissed < 0 {
+		// The counters were reset under us (Fabric.ResetStats after a
+		// warm-up): the snapshot above resynced, but this interval's
+		// deltas describe the discarded epoch — never a control input.
+		return
+	}
+	if d.Served == 0 {
+		return // nothing observed; nothing to conclude
+	}
+	miss := float64(d.DeadlineMissed) / float64(d.Served)
+	var rej float64
+	if d.Submitted > 0 {
+		rej = float64(d.Rejected) / float64(d.Submitted)
+	}
+	switch {
+	case miss > a.cfg.MissHigh:
+		// The SLO is failing: add serving capacity, and once the pool is
+		// at its ceiling shed load at admission instead — a smaller "yes"
+		// beats a late one.
+		if sh.target < a.cfg.MaxWorkers {
+			sh.setWorkers(sh.target + 1)
+			a.Grows++
+			a.hold[i] = a.cfg.Cooldown
+		} else if sh.rate > 0 && sh.rate > a.cfg.MinRate {
+			next := sh.rate / a.cfg.RateStep
+			if next < a.cfg.MinRate {
+				next = a.cfg.MinRate
+			}
+			sh.setRate(next)
+			a.RateDowns++
+			a.hold[i] = a.cfg.Cooldown
+		}
+	case miss < a.cfg.MissLow:
+		// The SLO has slack. First hand back admission headroom that an
+		// earlier tick took (rejects with a healthy SLO mean the gate,
+		// not the shard, is the bottleneck); only then consider
+		// shrinking, and only a provably idle pool — an empty queue at
+		// the tick and fewer interval serves than one worker could do.
+		if sh.rate > 0 && rej > 0.05 && sh.rate < a.cfg.MaxRate {
+			next := sh.rate * a.cfg.RateStep
+			if next > a.cfg.MaxRate {
+				next = a.cfg.MaxRate
+			}
+			sh.setRate(next)
+			a.RateUps++
+			a.hold[i] = a.cfg.Cooldown
+		} else if sh.target > a.cfg.MinWorkers && len(sh.queue) == 0 && rej == 0 {
+			sh.setWorkers(sh.target - 1)
+			a.Shrinks++
+			a.hold[i] = a.cfg.Cooldown
+		}
+	}
+}
+
+// Table renders the controller's end state and walk counts, one row
+// per shard plus the event totals.
+func (a *Autoscaler) Table(title string) *metrics.Table {
+	t := metrics.NewTable(title, "shard", "workers", "rate (req/s)")
+	for _, sh := range a.fab.shards {
+		t.AddRow(sh.name, sh.target, fmt.Sprintf("%.0f", sh.rate))
+	}
+	t.AddRow("walks", fmt.Sprintf("+%d/-%d", a.Grows, a.Shrinks),
+		fmt.Sprintf("+%d/-%d", a.RateUps, a.RateDowns))
+	return t
+}

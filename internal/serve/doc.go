@@ -26,6 +26,19 @@
 //
 // Experiment E16 measures what that buys under overload.
 //
+// With AdmissionConfig.Adaptive, the static deadlines become the seed
+// of an observed-service-time loop: each shard records per-request
+// service times into a metrics.Estimator, per-class deadlines derive
+// from the observed p99 (clamped around the static SLO), and arrivals
+// whose queue position already implies a deadline miss are rejected at
+// admission (p99-aware early drop). Config.Autoscale adds the SLO
+// controller (Autoscaler): per control interval it walks each shard's
+// worker pool and admission token rate from the interval's
+// deadline-miss and reject deltas, inside configured bounds, with a
+// deadband and per-shard cooldown so a steady workload never makes it
+// fidget. Experiment E18 measures the adaptive plane against the
+// static one on devices that age mid-run.
+//
 // # GC coordination across shards
 //
 // With Config.GCCoordinate (requires Scheduled), each device's

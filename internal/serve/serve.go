@@ -47,6 +47,25 @@ type AdmissionConfig struct {
 	// rather than queueing. Zero Rate means uncapped.
 	Rate  float64
 	Burst int
+	// Adaptive derives admission from the observed service-time
+	// distribution instead of the static constants above: each class's
+	// admission target becomes DeadlineFactor × its observed p99
+	// service time (clamped to [1/2, 2] × the static deadline, which
+	// stays the seed until the estimator window fills), and every
+	// arrival's completion is predicted from its queue position — a
+	// request whose predicted wait already implies a deadline miss is
+	// rejected now (p99-aware early drop) instead of served late and
+	// counted against the SLO. Deadline-miss accounting stays scored
+	// against the static deadlines, so adaptive and static fabrics
+	// grade against the same SLO.
+	Adaptive bool
+	// DeadlineFactor scales the observed p99 service time into the
+	// derived deadline (zero = 4).
+	DeadlineFactor float64
+	// EstimatorWindow is the per-shard service-time estimator's
+	// sub-window; the full observation window is 4 sub-windows
+	// (zero = 2ms).
+	EstimatorWindow sim.Time
 }
 
 // Config parameterizes a Fabric.
@@ -77,6 +96,18 @@ type Config struct {
 	// WriteCost is the DRR billing for writes vs reads on the scheduled
 	// path (zero = blockdev default).
 	WriteCost int
+	// Calibrate turns on online cost calibration in every device's
+	// stack (blockdev.Config.Calibrate): the DRR read/write billing
+	// follows observed device service times, with WriteCost as the
+	// seed, so an aging device is billed at what its ops cost today.
+	// CalibrateWindow is the stack estimator's sub-window (zero =
+	// blockdev default).
+	Calibrate       bool
+	CalibrateWindow sim.Time
+	// Autoscale enables the fabric's per-shard SLO controller, walking
+	// worker pools and admission token rates from the observed
+	// deadline-miss and reject rates, within the configured bounds.
+	Autoscale AutoscaleConfig
 	// QueueDepth bounds requests outstanding at each device (zero =
 	// blockdev default).
 	QueueDepth int
@@ -120,6 +151,7 @@ type Fabric struct {
 	membus   *pcm.MemBus
 	stats    *metrics.ShardStats
 	shardLat *metrics.TenantLatencies
+	scaler   *Autoscaler
 	stopped  bool
 	crashing bool
 
@@ -165,6 +197,12 @@ func New(p *sim.Proc, eng *sim.Engine, cfg Config) (*Fabric, error) {
 	}
 	if cfg.Admission.Burst < 1 {
 		cfg.Admission.Burst = 1
+	}
+	if cfg.Admission.DeadlineFactor <= 0 {
+		cfg.Admission.DeadlineFactor = 4
+	}
+	if cfg.Admission.EstimatorWindow <= 0 {
+		cfg.Admission.EstimatorWindow = 2 * sim.Millisecond
 	}
 	if cfg.Sched == (sched.Config{}) {
 		cfg.Sched = sched.DefaultConfig()
@@ -218,6 +256,8 @@ func New(p *sim.Proc, eng *sim.Engine, cfg Config) (*Fabric, error) {
 			scfg.QueueDepth = cfg.QueueDepth
 		}
 		scfg.WriteCost = cfg.WriteCost
+		scfg.Calibrate = cfg.Calibrate
+		scfg.CalibrateWindow = cfg.CalibrateWindow
 		stack, err := blockdev.New(eng, dev, scfg)
 		if err != nil {
 			return nil, err
@@ -275,12 +315,20 @@ func New(p *sim.Proc, eng *sim.Engine, cfg Config) (*Fabric, error) {
 			sys:    sys,
 			tenant: region.Tenant,
 			stats:  f.stats.Shard(name),
+			rate:   cfg.Admission.Rate,
 			bucket: sched.NewTokenBucket(cfg.Admission.Rate, cfg.Admission.Burst, eng.Now()),
 		}
-		f.shards = append(f.shards, sh)
-		for w := 0; w < cfg.WorkersPerShard; w++ {
-			eng.Go(sh.worker)
+		if cfg.Admission.Adaptive {
+			// The estimator exists only when a policy consumes it, so the
+			// static plane's serving hot path pays no measurement cost.
+			sh.svc = metrics.NewEstimator(int64(cfg.Admission.EstimatorWindow), 4, 0.1)
 		}
+		f.shards = append(f.shards, sh)
+		sh.setWorkers(cfg.WorkersPerShard)
+	}
+	if cfg.Autoscale.Enabled {
+		f.scaler = newAutoscaler(f, cfg.Autoscale)
+		eng.Go(f.scaler.run)
 	}
 	return f, nil
 }
@@ -311,6 +359,10 @@ func (f *Fabric) ResetStats() {
 
 // Scheduler returns device d's scheduler (nil when unscheduled).
 func (f *Fabric) Scheduler(d int) *sched.Scheduler { return f.groups[d].sched }
+
+// Autoscaler returns the SLO controller, or nil when autoscaling is
+// off.
+func (f *Fabric) Autoscaler() *Autoscaler { return f.scaler }
 
 // GCCoord merges the GC-coordination ledgers of every device in the
 // fabric — the host side (defer leases requested, resumes issued, from

@@ -53,10 +53,31 @@ type Shard struct {
 	waiters []*sim.Cond
 	busy    int // workers mid-request (Fabric.Crash quiesces on this)
 
+	// Worker pool: target is the desired size (walked by the SLO
+	// controller within its bounds), running the live process count.
+	// Surplus workers exit at their next scheduling point.
+	target  int
+	running int
+
+	// svc observes per-request service times (dequeue to completion,
+	// classes "latency"/"throughput" plus svcAll) — what adaptive
+	// deadlines and the early-drop predictor consume.
+	svc *metrics.Estimator
+
 	// Admission token bucket (requests, not device I/Os — the same
-	// bucket mechanism sched uses for tenant rate caps).
+	// bucket mechanism sched uses for tenant rate caps) and the rate it
+	// currently enforces.
 	bucket sched.TokenBucket
+	rate   float64
 }
+
+// svcAll is the estimator class aggregating every request class: queue
+// drain predictions need the mixed-class service rate, not one class's.
+const svcAll = "all"
+
+// adaptiveMinSamples is how many windowed samples the estimator needs
+// before adaptive deadlines and early drop replace the static policy.
+const adaptiveMinSamples = 16
 
 // Name returns the shard's name ("shardN").
 func (sh *Shard) Name() string { return sh.name }
@@ -75,6 +96,47 @@ func (sh *Shard) Stats() *metrics.ShardCounters { return sh.stats }
 
 // QueueLen reports the shard's current admission-queue length.
 func (sh *Shard) QueueLen() int { return len(sh.queue) }
+
+// Workers reports the shard's target worker-pool size.
+func (sh *Shard) Workers() int { return sh.target }
+
+// AdmissionRate reports the shard's current admission token rate
+// (requests/sec; 0 = uncapped).
+func (sh *Shard) AdmissionRate() float64 { return sh.rate }
+
+// ServiceEstimator exposes the shard's observed service-time estimator
+// (classes "latency"/"throughput"/"all"), or nil when adaptive
+// admission is off and nothing is measured.
+func (sh *Shard) ServiceEstimator() *metrics.Estimator { return sh.svc }
+
+// setWorkers walks the worker pool to n processes (minimum 1). Growth
+// spawns immediately; shrink marks the surplus and wakes idle workers
+// so they exit without waiting for traffic.
+func (sh *Shard) setWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	sh.target = n
+	for sh.running < sh.target {
+		sh.running++
+		sh.fab.eng.Go(sh.worker)
+	}
+	if sh.running > sh.target && len(sh.waiters) > 0 {
+		ws := sh.waiters
+		sh.waiters = nil
+		for _, w := range ws {
+			w.Fire()
+		}
+	}
+}
+
+// setRate rewalks the admission token rate to perSec (the SLO
+// controller's actuator). The fresh bucket starts full, granting one
+// burst at the new rate.
+func (sh *Shard) setRate(perSec float64) {
+	sh.rate = perSec
+	sh.bucket = sched.NewTokenBucket(perSec, sh.fab.cfg.Admission.Burst, sh.fab.eng.Now())
+}
 
 // Submit routes one request through admission control. done always
 // fires exactly once: with ErrRejected at admission refusal, ErrStopped
@@ -97,7 +159,27 @@ func (sh *Shard) Submit(op Op, done func(error)) {
 	sh.stats.Submitted++
 	ac := &sh.fab.cfg.Admission
 	if ac.Enabled {
-		if len(sh.queue) >= ac.QueueLimit || !sh.bucket.TryTake(sh.fab.eng.Now()) {
+		if len(sh.queue) >= ac.QueueLimit {
+			sh.stats.Rejected++
+			if done != nil {
+				done(ErrRejected)
+			}
+			return
+		}
+		if ac.Adaptive && sh.predictMiss(op.Class) {
+			// Early drop: the queue already ahead of this request implies
+			// a deadline miss — answering "no" now is cheaper for both
+			// sides than serving a late "yes". Checked before the token
+			// take, so a doomed request never burns admission budget an
+			// admittable one could have used.
+			sh.stats.Rejected++
+			sh.stats.EarlyDropped++
+			if done != nil {
+				done(ErrRejected)
+			}
+			return
+		}
+		if !sh.bucket.TryTake(sh.fab.eng.Now()) {
 			sh.stats.Rejected++
 			if done != nil {
 				done(ErrRejected)
@@ -131,30 +213,100 @@ func (sh *Shard) failBacklog(err error) {
 	sh.queue = nil
 }
 
-// deadlineFor maps a request class to its completion target.
-func (sh *Shard) deadlineFor(c sched.Class) sim.Time {
+// staticDeadlineFor maps a request class to its configured completion
+// target — the seed and anchor of the adaptive policy.
+func (sh *Shard) staticDeadlineFor(c sched.Class) sim.Time {
 	if c == sched.LatencySensitive {
 		return sh.fab.cfg.Admission.LatencyDeadline
 	}
 	return sh.fab.cfg.Admission.ThroughputDeadline
 }
 
+// deadlineFor maps a request class to the completion target admission
+// predicts against. With Admission.Adaptive and a warm estimator it is
+// derived from the observed distribution — DeadlineFactor × the
+// class's windowed p99 service time — clamped to [1/2, 2] × the static
+// deadline so the admission target tracks what the device can do
+// without wandering away from what was promised. It governs the
+// early-drop prediction only; deadline-miss *scoring* always uses
+// staticDeadlineFor (see worker).
+func (sh *Shard) deadlineFor(c sched.Class) sim.Time {
+	static := sh.staticDeadlineFor(c)
+	ac := &sh.fab.cfg.Admission
+	if !ac.Adaptive {
+		return static
+	}
+	ce := sh.svc.Class(c.String())
+	ce.Observe(int64(sh.fab.eng.Now()))
+	if ce.WindowCount() < adaptiveMinSamples {
+		return static
+	}
+	d := sim.Time(ac.DeadlineFactor * float64(ce.Quantile(0.99)))
+	if d < static/2 {
+		d = static / 2
+	}
+	if d > 2*static {
+		d = 2 * static
+	}
+	return d
+}
+
+// predictMiss reports whether a request admitted now would already
+// miss its deadline given the queue ahead of it: the queue drains at
+// the observed all-class mean service rate across the worker pool, and
+// the request itself is held to its class's observed p99. Cold
+// estimators never drop — the static policy needs no prediction.
+func (sh *Shard) predictMiss(c sched.Class) bool {
+	now := int64(sh.fab.eng.Now())
+	all := sh.svc.Class(svcAll)
+	all.Observe(now)
+	if all.WindowCount() < adaptiveMinSamples {
+		return false
+	}
+	workers := sh.target
+	if workers < 1 {
+		workers = 1
+	}
+	wait := float64(len(sh.queue)) * all.EWMA() / float64(workers)
+	ce := sh.svc.Class(c.String())
+	ce.Observe(now) // a stale post-idle window must age out, not drop
+	tail := float64(ce.Quantile(0.99))
+	if tail <= 0 {
+		tail = all.EWMA()
+	}
+	return sim.Time(wait+tail) > sh.deadlineFor(c)
+}
+
 // worker is one serving process: pull, execute, settle the deadline
-// ledger. Workers exit when the fabric stops and their queue is empty
-// (Stop without drain empties it for them).
+// ledger, feed the service-time estimator. Workers exit when the
+// fabric stops and their queue is empty (Stop without drain empties it
+// for them), or when the pool shrank past them — handing any work they
+// were woken for to a remaining waiter.
 func (sh *Shard) worker(p *sim.Proc) {
+	defer func() { sh.running-- }()
 	for {
 		for len(sh.queue) == 0 {
-			if sh.fab.stopped {
+			if sh.fab.stopped || sh.running > sh.target {
 				return
 			}
 			c := sim.NewCond(p.Engine())
 			sh.waiters = append(sh.waiters, c)
 			c.Await(p)
 		}
+		if sh.running > sh.target {
+			// Shrunk while work arrived: pass the wake-up on so the queue
+			// is not orphaned behind this exit.
+			if n := len(sh.waiters); n > 0 {
+				w := sh.waiters[n-1]
+				sh.waiters = sh.waiters[:n-1]
+				w.Fire()
+			}
+			return
+		}
 		op := sh.queue[0]
 		sh.queue = sh.queue[0:copy(sh.queue, sh.queue[1:])]
 		sh.busy++
+		start := p.Now()
 		// Per-request CPU work before the storage engine runs.
 		p.Sleep(sh.fab.cfg.ServeCost)
 		err := sh.execute(p, op)
@@ -164,9 +316,19 @@ func (sh *Shard) worker(p *sim.Proc) {
 			sh.fab.Errors++
 			sh.stats.Failed++
 		} else {
+			now := p.Now()
+			if sh.svc != nil {
+				svc := int64(now - start)
+				sh.svc.Record(op.Class.String(), int64(now), svc)
+				sh.svc.Record(svcAll, int64(now), svc)
+			}
 			sh.stats.Served++
-			sh.fab.shardLat.Record(sh.name, int64(p.Now()-op.arrived))
-			if d := sh.deadlineFor(op.Class); d > 0 && p.Now()-op.arrived > d {
+			sh.fab.shardLat.Record(sh.name, int64(now-op.arrived))
+			// Misses are always scored against the configured SLO, never
+			// the derived admission target: an adaptive fabric must not
+			// grade itself on a relaxed curve, or static-vs-adaptive
+			// miss rates would compare different success criteria.
+			if d := sh.staticDeadlineFor(op.Class); d > 0 && now-op.arrived > d {
 				sh.stats.DeadlineMissed++
 			}
 		}

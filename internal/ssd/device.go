@@ -344,6 +344,20 @@ func (d *Device) AtomicWrite(lpns []int64, pages [][]byte, done func(error)) {
 	})
 }
 
+// AgeTiming applies mid-life service-time drift to the device's flash:
+// every chip's read/program/erase latencies become the given multiples
+// of their datasheet values (a factor <= 0 restores that operation's
+// datasheet timing; calls replace, not compound). The block interface
+// would hide this drift behind the same LBA contract forever; the
+// adaptive control plane exists to notice it from the outside, so
+// experiments age a device mid-run and watch the host's calibrated
+// costs follow.
+func (d *Device) AgeTiming(read, program, erase float64) {
+	if d.arr != nil {
+		d.arr.SetTimingScale(read, program, erase)
+	}
+}
+
 // Crash models sudden power loss: volatile buffer contents vanish. It
 // returns the LPNs whose acknowledged writes were silently lost — the
 // durability trap behind "writes complete as soon as they hit the

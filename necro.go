@@ -296,5 +296,5 @@ const (
 	Full = experiments.Full
 )
 
-// Experiments lists the full E1-E16 suite in paper order.
+// Experiments lists the full E1-E18 suite in paper order.
 func Experiments() []Experiment { return experiments.All }
