@@ -112,6 +112,13 @@ func BenchmarkE18AdaptiveControlPlane(b *testing.B) {
 	benchExperiment(b, experiments.E18AdaptiveControlPlane)
 }
 
+// BenchmarkE19ReplicatedPlacement measures replica placement: GC-steered
+// replicated reads against single placement on aged devices, plus a
+// drift-triggered live shard migration under load.
+func BenchmarkE19ReplicatedPlacement(b *testing.B) {
+	benchExperiment(b, experiments.E19ReplicatedPlacement)
+}
+
 // ---- substrate microbenchmarks (real wall-clock cost of the simulator) ----
 
 // BenchmarkSimulatedPageWrite measures simulator throughput for the full

@@ -1,12 +1,14 @@
-// deathbench runs the full experiment suite (E1-E18): E1-E14 reproduce
+// deathbench runs the full experiment suite (E1-E19): E1-E14 reproduce
 // every figure and quantitative claim of "The Necessary Death of the
-// Block Device Interface", and E15-E18 extend the reproduction with the
+// Block Device Interface", and E15-E19 extend the reproduction with the
 // multi-tenant studies built on the paper's communication abstraction:
 // scheduler isolation (internal/sched), the sharded KV serving fabric
 // with admission control (internal/serve), host→device GC coordination
-// (the scheduler leasing GC deferrals from the device), and the
-// adaptive control plane (observed-service-time feedback closing the
-// loop around billing, deadlines, admission and GC leases).
+// (the scheduler leasing GC deferrals from the device), the adaptive
+// control plane (observed-service-time feedback closing the loop around
+// billing, deadlines, admission and GC leases), and replicated shard
+// placement with GC-steered reads and drift-triggered live migration
+// (internal/place).
 // It prints the paper-style tables. docs/EXPERIMENTS.md indexes every
 // experiment with its headline result.
 //

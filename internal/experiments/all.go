@@ -26,4 +26,5 @@ var All = []Runner{
 	{"E16", E16ServingFabric},
 	{"E17", E17GCCoordination},
 	{"E18", E18AdaptiveControlPlane},
+	{"E19", E19ReplicatedPlacement},
 }

@@ -69,6 +69,16 @@ func E15TenantIsolation(scale Scale) (*Result, error) {
 	res.Finding = fmt.Sprintf(
 		"under 16 noisy neighbors the scheduled stack holds the latency-sensitive p99 at least %.1fx lower than FIFO on every stack mode (GC-aware deferrals fired %d times on the multi-queue run)",
 		worst16Gain, showDeferrals)
+	res.Headline = map[string]float64{
+		"worst_p99_gain_16":    worst16Gain,
+		"mq_gc_deferrals_16":   float64(showDeferrals),
+		"neighbor_counts_run":  float64(len(neighborCounts)),
+		"stack_modes_compared": float64(len(modes)),
+	}
+	if showFIFO != nil {
+		res.Headline["mq_fifo_p99_us_16"] = float64(showFIFO.Hist(lsTenant).P99()) / 1e3
+		res.Headline["mq_sched_p99_us_16"] = float64(showSched.Hist(lsTenant).P99()) / 1e3
+	}
 	return res, nil
 }
 

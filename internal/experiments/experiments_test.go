@@ -287,8 +287,8 @@ func TestE14MatrixSeparatesGenerations(t *testing.T) {
 }
 
 func TestAllRunnersListed(t *testing.T) {
-	if len(All) != 18 {
-		t.Fatalf("All has %d runners, want 18", len(All))
+	if len(All) != 19 {
+		t.Fatalf("All has %d runners, want 19", len(All))
 	}
 	seen := map[string]bool{}
 	for _, r := range All {
@@ -518,5 +518,65 @@ func TestE18AdaptivePlaneTracksAgingDevices(t *testing.T) {
 		if tail >= walks/2 {
 			t.Errorf("%s/16: %v of %v walks in the final quarter — not converging", mode, tail, walks)
 		}
+	}
+}
+
+func TestE19ReplicatedPlacementSteersAndMigrates(t *testing.T) {
+	r, err := E19ReplicatedPlacement(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 5 {
+		t.Fatalf("tables = %d, want comparison + placement ledger + two per-tenant histograms + migration ledger", len(r.Tables))
+	}
+	tb := r.Tables[0]
+	if tb.Rows() != 9 {
+		t.Fatalf("comparison rows = %d, want 3 stacks x 3 shard counts", tb.Rows())
+	}
+	better16 := 0
+	for row := 0; row < tb.Rows(); row++ {
+		label := tb.Cell(row, 0)
+		shards := cellFloat(t, tb.Cell(row, 1))
+		// Steering must engage wherever there is a choice to make and GC
+		// to avoid (multi-shard rows churn enough to keep GC cycling).
+		if shards > 1 {
+			if steered := cellFloat(t, tb.Cell(row, 8)); steered <= 0 {
+				t.Errorf("%s/%v: no reads steered", label, shards)
+			}
+			if avoided := cellFloat(t, tb.Cell(row, 9)); avoided <= 0 {
+				t.Errorf("%s/%v: no reads steered off a collecting device", label, shards)
+			}
+		}
+		if shards != 16 {
+			continue
+		}
+		p99Single := cellFloat(t, tb.Cell(row, 4))
+		p99Repl := cellFloat(t, tb.Cell(row, 5))
+		if p99Repl < p99Single {
+			better16++
+		}
+	}
+	// The acceptance bar: GC-steered replicated reads beat single
+	// placement's latency-class p99 at 16 shards on at least 2 of the
+	// 3 stack modes.
+	if better16 < 2 {
+		t.Errorf("replicated p99 beat single placement on only %d of 3 stacks at 16 shards", better16)
+	}
+	// And the live migration completed under load, triggered by the
+	// drift alarm, with a clean read-back: zero lost, zero stale.
+	if r.Headline["drift_trips"] < 1 {
+		t.Error("drift alarm never tripped")
+	}
+	if r.Headline["migrations"] < 1 {
+		t.Error("no live migration completed")
+	}
+	if r.Headline["replicas_on_spare"] < 1 {
+		t.Error("no replica landed on the spare device")
+	}
+	if lost := r.Headline["lost_acked_writes"]; lost != 0 {
+		t.Errorf("%v acknowledged writes lost across the migration", lost)
+	}
+	if stale := r.Headline["stale_acked_writes"]; stale != 0 {
+		t.Errorf("%v acknowledged writes stale across the migration", stale)
 	}
 }

@@ -90,6 +90,13 @@ type Store struct {
 	metaVer     uint64
 	replayLSN   int64 // WAL replay horizon persisted in meta
 
+	// Live snapshots (Snapshot) pin old tree versions: while any exist,
+	// pages freed by checkpoints are quarantined — neither trimmed nor
+	// recycled — so retained trees stay readable. Release drains the
+	// quarantine back into pendingFree.
+	snapshots  int
+	quarantine []int64
+
 	active        map[uint64]int64 // txn -> first LSN (for replay horizon)
 	checkpointing bool
 	cpWaiters     []*sim.Cond

@@ -1,0 +1,148 @@
+package kvstore
+
+// Consistent point-in-time reads while the store keeps serving — the
+// region snapshot/clone primitive behind live shard migration (package
+// place). The checkpointed B+tree is copy-on-write, so a snapshot is
+// cheap: retain the current tree handle, copy the (small) memtable
+// overlay, and keep the old tree's pages readable until release by
+// quarantining anything later checkpoints free instead of trimming and
+// recycling it.
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Snapshot is a consistent view of the store at the instant it was
+// taken. Writes committed afterwards are invisible to it; the store
+// serves them concurrently. Callers must Release the snapshot so the
+// pages it pins can be trimmed and recycled.
+type Snapshot struct {
+	s        *Store
+	tree     treeHandle
+	mem      map[string]memVal
+	released bool
+}
+
+// treeHandle is the subset of btree.Tree a snapshot scan needs (the
+// concrete tree is immutable, so holding it is the snapshot).
+type treeHandle interface {
+	Scan(p *sim.Proc, fn func(key, value []byte) bool) error
+}
+
+// Snapshot captures the store's current state for reading while writes
+// continue. It copies the memtable layers and retains the current
+// copy-on-write tree version; pages that later checkpoints free are
+// quarantined — neither trimmed nor recycled — until Release, so the
+// retained tree stays readable however far the live store moves on.
+func (s *Store) Snapshot() (*Snapshot, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	mem := make(map[string]memVal, len(s.mem)+len(s.frozen))
+	for k, v := range s.frozen {
+		mem[k] = v
+	}
+	for k, v := range s.mem {
+		mem[k] = v
+	}
+	s.snapshots++
+	return &Snapshot{s: s, tree: s.tree, mem: mem}, nil
+}
+
+// Scan visits every live key of the snapshot in order. Like Store.Scan
+// it merges the retained tree with the captured memtable overlay;
+// unlike Store.Scan the result is pinned — concurrent commits and
+// checkpoints on the live store cannot change what it reports.
+func (sn *Snapshot) Scan(p *sim.Proc, fn func(key, value []byte) bool) error {
+	merged := map[string][]byte{}
+	if err := sn.tree.Scan(p, func(k, v []byte) bool {
+		merged[string(k)] = append([]byte(nil), v...)
+		return true
+	}); err != nil {
+		return err
+	}
+	for k, v := range sn.mem {
+		if v.tombstone {
+			delete(merged, k)
+		} else {
+			merged[k] = v.value
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !fn([]byte(k), merged[k]) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Release unpins the snapshot. When the last live snapshot releases,
+// every quarantined page goes through the disposal it was spared —
+// cache invalidation, trim (progressive assembly), recycling — at the
+// store's next checkpoint. Release is idempotent.
+func (sn *Snapshot) Release() {
+	if sn.released {
+		return
+	}
+	sn.released = true
+	s := sn.s
+	s.snapshots--
+	if s.snapshots > 0 {
+		return
+	}
+	// Hand the quarantined pages back to the normal deferred-free path:
+	// the next checkpoint disposes of them after its meta flip, exactly
+	// as if they had been freed by it.
+	s.pendingFree = append(s.pendingFree, s.quarantine...)
+	s.quarantine = nil
+}
+
+// CopyInto streams a consistent snapshot of s into dst in transactions
+// of batch keys (minimum 1; 0 means 8), returning the number of keys
+// copied. The source keeps serving while the copy runs: writes that
+// land after the snapshot are invisible to it and are the caller's
+// delta to catch up afterwards — the copy phase of live shard
+// migration (place.Mover). Reads are billed to s's page store, writes
+// to dst's WAL and pages, so the traffic lands on the devices (and
+// scheduler tenants) each store is built over.
+func (s *Store) CopyInto(p *sim.Proc, dst *Store, batch int) (int64, error) {
+	if batch < 1 {
+		batch = 8
+	}
+	sn, err := s.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	defer sn.Release()
+	type kv struct{ k, v []byte }
+	var pending []kv
+	var copied int64
+	if err := sn.Scan(p, func(k, v []byte) bool {
+		pending = append(pending, kv{k: k, v: v})
+		copied++
+		return true
+	}); err != nil {
+		return copied, err
+	}
+	for i := 0; i < len(pending); i += batch {
+		end := i + batch
+		if end > len(pending) {
+			end = len(pending)
+		}
+		tx := dst.Begin()
+		for _, e := range pending[i:end] {
+			tx.Put(e.k, e.v)
+		}
+		if err := tx.Commit(p); err != nil {
+			return copied, err
+		}
+	}
+	return copied, nil
+}

@@ -244,16 +244,22 @@ func (s *Store) checkpoint(p *sim.Proc) error {
 	if err := s.writeMeta(p); err != nil {
 		return err
 	}
-	// Old tree version is dead: reclaim.
+	// Old tree version is dead: reclaim — unless a live snapshot still
+	// reads it, in which case the pages sit in quarantine (content
+	// intact, not trimmed, not reallocated) until the snapshot releases.
 	freed := s.pendingFree
 	s.pendingFree = nil
-	for _, id := range freed {
-		s.cache.Invalidate(id)
-		if s.cfg.TrimFreed {
-			_ = s.pages.Trim(id)
+	if s.snapshots > 0 {
+		s.quarantine = append(s.quarantine, freed...)
+	} else {
+		for _, id := range freed {
+			s.cache.Invalidate(id)
+			if s.cfg.TrimFreed {
+				_ = s.pages.Trim(id)
+			}
 		}
+		s.freePages = append(s.freePages, freed...)
 	}
-	s.freePages = append(s.freePages, freed...)
 	s.frozen = nil
 	if err := s.log.LogDevice().Truncate(horizon); err != nil {
 		return err

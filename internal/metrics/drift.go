@@ -1,0 +1,109 @@
+package metrics
+
+// DriftAlarm watches one class's windowed mean service time for a
+// sustained trend away from a baseline captured when the device was
+// last known-good — the "device aging" signal the ROADMAP queued after
+// E18. The estimator's rolling window already forgets the device's
+// former self; the alarm is the piece that *remembers* it: the first
+// warm window arms the baseline, and every later check compares the
+// current windowed mean against it. A ratio at or above the threshold
+// trips the alarm (latched, callback fired once), which is what a
+// placement layer consumes to trigger live shard migration before the
+// SLO shows the damage.
+//
+// The alarm deliberately reads the windowed mean, not the EWMA: the
+// EWMA carries decayed memory of the pre-drift device, so it understates
+// a step change exactly when the alarm should be loudest.
+type DriftAlarm struct {
+	cls        *ClassEstimate
+	threshold  float64
+	minSamples int64
+
+	armed    bool
+	baseline float64
+	last     float64 // last observed trend ratio
+	tripped  bool
+	onTrip   func(ratio float64)
+}
+
+// DriftAlarm builds an alarm over the class: it arms its baseline from
+// the first window holding at least minSamples samples, and trips when
+// a later window's mean reaches threshold × baseline. threshold <= 1
+// means 1.5; minSamples < 1 means 16.
+func (c *ClassEstimate) DriftAlarm(threshold float64, minSamples int64) *DriftAlarm {
+	if threshold <= 1 {
+		threshold = 1.5
+	}
+	if minSamples < 1 {
+		minSamples = 16
+	}
+	return &DriftAlarm{cls: c, threshold: threshold, minSamples: minSamples}
+}
+
+// OnTrip registers a callback invoked once, at the Check that trips the
+// alarm, with the observed trend ratio.
+func (a *DriftAlarm) OnTrip(fn func(ratio float64)) { a.onTrip = fn }
+
+// Check rolls the class window to now, arms the baseline if it is warm
+// and not yet armed, and reports whether the alarm is tripped. Checks
+// against a cold window (fewer than minSamples samples) neither arm nor
+// trip: a quiet class must not alarm on a handful of stragglers.
+func (a *DriftAlarm) Check(now int64) bool {
+	if a.tripped {
+		return true
+	}
+	a.cls.Observe(now)
+	if a.cls.WindowCount() < a.minSamples {
+		return false
+	}
+	mean := a.cls.Mean()
+	if !a.armed {
+		a.armed = true
+		a.baseline = mean
+		a.last = 1
+		return false
+	}
+	if a.baseline <= 0 {
+		return false
+	}
+	a.last = mean / a.baseline
+	if a.last >= a.threshold {
+		a.tripped = true
+		if a.onTrip != nil {
+			a.onTrip(a.last)
+		}
+	}
+	return a.tripped
+}
+
+// Tripped reports whether the alarm has fired.
+func (a *DriftAlarm) Tripped() bool { return a.tripped }
+
+// Armed reports whether the baseline has been captured.
+func (a *DriftAlarm) Armed() bool { return a.armed }
+
+// Baseline reports the armed baseline mean in nanoseconds (0 before
+// arming).
+func (a *DriftAlarm) Baseline() float64 { return a.baseline }
+
+// Ratio reports the last observed trend ratio (current window mean /
+// baseline; 1 until a post-arm Check).
+func (a *DriftAlarm) Ratio() float64 {
+	if !a.armed {
+		return 1
+	}
+	if a.last == 0 {
+		return 1
+	}
+	return a.last
+}
+
+// Reset re-arms the alarm: the trip latch and baseline are cleared, so
+// the next warm window becomes the new known-good (after a migration
+// moved the load to a fresh device, say).
+func (a *DriftAlarm) Reset() {
+	a.tripped = false
+	a.armed = false
+	a.baseline = 0
+	a.last = 0
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import "testing"
+
+func TestDriftAlarmTripsOnSustainedSlowdown(t *testing.T) {
+	e := NewEstimator(1*ms, 4, 0.2)
+	c := e.Class("read")
+	a := c.DriftAlarm(1.5, 16)
+	var gotRatio float64
+	a.OnTrip(func(r float64) { gotRatio = r })
+
+	// Cold checks: nothing recorded, nothing armed.
+	if a.Check(0) || a.Armed() {
+		t.Fatal("cold alarm must neither arm nor trip")
+	}
+	// A healthy window arms the baseline.
+	for i := int64(0); i < 32; i++ {
+		c.Record(i*1000, 100_000)
+	}
+	if a.Check(32_000) {
+		t.Fatal("healthy window must not trip")
+	}
+	if !a.Armed() || a.Baseline() < 90_000 || a.Baseline() > 110_000 {
+		t.Fatalf("baseline = %v, want ~100000", a.Baseline())
+	}
+	// Same service level: no trip, ratio near 1.
+	for i := int64(0); i < 32; i++ {
+		c.Record(ms+i*1000, 100_000)
+	}
+	if a.Check(ms + 32_000) {
+		t.Fatal("steady service must not trip")
+	}
+	if r := a.Ratio(); r < 0.9 || r > 1.1 {
+		t.Fatalf("steady ratio = %v, want ~1", r)
+	}
+	// The device ages: 2.5× slower. Let the old windows roll out, then
+	// the trend ratio crosses the threshold and the alarm latches.
+	for w := int64(5); w <= 8; w++ {
+		for i := int64(0); i < 32; i++ {
+			c.Record(w*ms+i*1000, 250_000)
+		}
+	}
+	if !a.Check(8*ms + 32_000) {
+		t.Fatalf("2.5x slowdown must trip a 1.5x alarm (ratio %v)", a.Ratio())
+	}
+	if gotRatio < 2.0 || gotRatio > 3.0 {
+		t.Fatalf("trip callback ratio = %v, want ~2.5", gotRatio)
+	}
+	if !a.Tripped() || !a.Check(9*ms) {
+		t.Fatal("alarm must latch once tripped")
+	}
+	// Reset re-arms from the current (slow) regime: the new normal.
+	a.Reset()
+	if a.Tripped() || a.Armed() {
+		t.Fatal("Reset must clear trip and baseline")
+	}
+	for i := int64(0); i < 32; i++ {
+		c.Record(10*ms+i*1000, 250_000)
+	}
+	if a.Check(10*ms + 32_000) {
+		t.Fatal("post-reset steady slow service must not trip")
+	}
+	if a.Baseline() < 200_000 {
+		t.Fatalf("post-reset baseline = %v, want the slow regime", a.Baseline())
+	}
+}
+
+func TestDriftAlarmDoesNotTripBelowThresholdOrOnColdWindow(t *testing.T) {
+	e := NewEstimator(1*ms, 4, 0.2)
+	c := e.Class("read")
+	a := c.DriftAlarm(2.0, 16)
+	for i := int64(0); i < 32; i++ {
+		c.Record(i*1000, 100_000)
+	}
+	a.Check(32_000) // arms
+	// 1.5× drift under a 2× threshold: no trip, ratio visible.
+	for w := int64(5); w <= 8; w++ {
+		for i := int64(0); i < 32; i++ {
+			c.Record(w*ms+i*1000, 150_000)
+		}
+	}
+	if a.Check(8*ms + 32_000) {
+		t.Fatalf("1.5x drift must not trip a 2x alarm (ratio %v)", a.Ratio())
+	}
+	if r := a.Ratio(); r < 1.3 || r > 1.7 {
+		t.Fatalf("ratio = %v, want ~1.5", r)
+	}
+	// A long silence empties the window; a handful of slow stragglers
+	// must not trip the alarm while the window is cold.
+	c.Observe(100 * ms)
+	for i := int64(0); i < 8; i++ {
+		c.Record(100*ms+i*1000, 400_000)
+	}
+	if a.Check(100*ms + 8_000) {
+		t.Fatal("cold window (below minSamples) must not trip")
+	}
+
+	// Defaults: threshold <= 1 and minSamples < 1 fall back sanely.
+	d := c.DriftAlarm(0, 0)
+	if d.threshold != 1.5 || d.minSamples != 16 {
+		t.Fatalf("defaults = %v/%v, want 1.5/16", d.threshold, d.minSamples)
+	}
+}

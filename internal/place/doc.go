@@ -1,0 +1,31 @@
+// Package place is the replica-placement subsystem over the serving
+// fabric: the first layer where the device→host signals of the peer
+// interface choose *where* I/O goes, not just when.
+//
+// A Placement groups each logical shard's physical replicas (built by
+// serve.Config.Replicas on distinct devices, each its own scheduler
+// tenant) into a ReplicaGroup that serves as one frontend routing
+// target. Writes are committed on every replica before the ack —
+// group-level admission refuses a write whole rather than half-apply
+// it — and every read is steered, per request, to the replica whose
+// device currently looks healthiest: fewest chips garbage-collecting
+// (the E15 notification), lowest reported GC urgency (the E17 control
+// surface), lowest observed read service time (the E18 estimator),
+// round-robin on a full tie. A device that starts collecting or aging
+// stops receiving reads the moment its signals say so, instead of
+// every request pinned to it waiting the collection out.
+//
+// On top of the groups, Mover performs live shard migration: when a
+// device's windowed service-time trend trips its drift alarm
+// (metrics.DriftAlarm over the stack's calibration estimator), or a
+// group's interval deadline-miss rate stays high, the group's replica
+// on that device is rebuilt elsewhere while the group keeps serving —
+// bulk copy from the healthiest surviving replica (a consistent
+// kvstore snapshot; the sick device is not asked to stream its own
+// region), delta catch-up of the keys the write path touched
+// meanwhile, then a brief cutover that holds new writes, drains
+// in-flight ones, copies the final delta and swaps the replica set.
+// The old replica retires and its region slot frees. No acknowledged
+// write is lost or served stale across the move; experiment E19
+// verifies that by read-back.
+package place

@@ -1,0 +1,222 @@
+package place
+
+import (
+	"repro/internal/kvstore"
+	"repro/internal/metrics"
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+// Group is one logical shard's replica set: R physical shards on
+// distinct devices serving as a single frontend target. Reads are
+// steered to the currently healthiest replica's device; writes commit
+// on every replica before the ack.
+type Group struct {
+	pl       *Placement
+	idx      int
+	replicas []*serve.Shard
+	rr       int
+	led      metrics.PlaceLedger
+
+	inflight int         // quorum writes submitted, not yet fully settled
+	drain    []*sim.Cond // procs awaiting inflight == 0 (cutover)
+	mig      *migration  // non-nil while this group's shard is moving
+}
+
+// heldOp is a write parked during a migration cutover.
+type heldOp struct {
+	op   serve.Op
+	done func(error)
+	at   sim.Time
+}
+
+// migration is one in-flight replica move, owned by the Mover.
+type migration struct {
+	src, dst *serve.Shard
+	// dirty is the delta the write path feeds: every key written to the
+	// group since the current copy pass began. Catch-up swaps in a
+	// fresh map and re-copies these from a surviving replica.
+	dirty   map[string]struct{}
+	cutover bool
+	held    []heldOp
+}
+
+// Index returns the group's logical shard index.
+func (g *Group) Index() int { return g.idx }
+
+// Replicas returns the group's current replica set.
+func (g *Group) Replicas() []*serve.Shard { return g.replicas }
+
+// Migrating reports whether the group has a replica move in flight.
+func (g *Group) Migrating() bool { return g.mig != nil }
+
+// Ledger returns the group's steering and quorum accounting.
+func (g *Group) Ledger() metrics.PlaceLedger { return g.led }
+
+// Systems implements serve.Target: every replica's KV system, so
+// preload and churn write all replicas and the group starts identical.
+func (g *Group) Systems() []*kvstore.System {
+	out := make([]*kvstore.System, len(g.replicas))
+	for i, sh := range g.replicas {
+		out[i] = sh.System()
+	}
+	return out
+}
+
+// Submit implements serve.Target: reads steer, writes commit on every
+// replica before the ack.
+func (g *Group) Submit(op serve.Op, done func(error)) {
+	if op.Kind == serve.OpPut {
+		g.submitWrite(op, done)
+		return
+	}
+	g.steer().Submit(op, done)
+}
+
+// steer picks the replica for one read: the device that currently
+// reports the least GC activity, the lowest reclamation urgency and
+// the lowest observed read service time wins; replicas whose devices
+// tie are taken round-robin. The signals are the peer interface's —
+// a block-device fabric has none of them and can only route blind.
+func (g *Group) steer() *serve.Shard {
+	n := len(g.replicas)
+	if n == 1 {
+		return g.replicas[0]
+	}
+	scores := make([]devScore, n)
+	best := 0
+	ties := 1
+	maxChips := 0
+	for i := range g.replicas {
+		scores[i] = g.pl.deviceScore(g.replicas[i].DeviceIndex())
+		if c := scores[i].chips; c > maxChips {
+			maxChips = c
+		}
+		if i == 0 {
+			continue
+		}
+		switch {
+		case scores[i].less(scores[best]):
+			best, ties = i, 1
+		case !scores[best].less(scores[i]):
+			ties++
+		}
+	}
+	if ties == len(g.replicas) {
+		// Every device looks the same: fall back to round-robin so load
+		// still spreads.
+		g.led.TieReads++
+		pick := g.replicas[g.rr%n]
+		g.rr++
+		return pick
+	}
+	g.led.SteeredReads++
+	if maxChips > 0 && scores[best].chips < maxChips {
+		g.led.AvoidedGC++
+	}
+	return g.replicas[best]
+}
+
+// submitWrite runs one write through group admission and, when
+// admitted, commits it on every replica before acking. During a
+// migration the key joins the dirty delta; during its cutover the
+// write parks until the new replica set is live.
+func (g *Group) submitWrite(op serve.Op, done func(error)) {
+	fab := g.pl.fab
+	if fab.Stopped() || fab.Crashing() {
+		// The shard path reports the right terminal error without
+		// applying anything.
+		g.replicas[0].Submit(op, done)
+		return
+	}
+	if m := g.mig; m != nil && m.cutover {
+		m.held = append(m.held, heldOp{op: op, done: done, at: fab.Engine().Now()})
+		g.led.HeldWrites++
+		return
+	}
+	// Group-level admission: every replica must admit the write, or no
+	// replica sees it — a quorum write must never be half-applied
+	// because one queue was full. The peeks and the submits below run
+	// in the same event, so the answers cannot go stale in between.
+	for _, sh := range g.replicas {
+		if !sh.Admits(op.Class) {
+			g.led.WriteRejects++
+			if done != nil {
+				done(serve.ErrRejected)
+			}
+			return
+		}
+	}
+	g.led.QuorumWrites++
+	g.inflight++
+	remaining := len(g.replicas)
+	var werr error
+	settle := func(err error) {
+		if err != nil && werr == nil {
+			werr = err
+		}
+		if remaining--; remaining > 0 {
+			return
+		}
+		// The migration delta is recorded at *completion*, not at
+		// submission: only now is the value published in the replica
+		// stores, so only now can a catch-up copy actually read it. A
+		// write that was already in flight when the migration began
+		// (invisible to both the snapshot and any submit-time ledger)
+		// lands here too — and in-flight writes drained by the cutover
+		// barrier land before the barrier lifts, so the final delta
+		// pass never misses them.
+		if m := g.mig; m != nil {
+			m.dirty[string(op.Key)] = struct{}{}
+		}
+		g.inflight--
+		if g.inflight == 0 && len(g.drain) > 0 {
+			ws := g.drain
+			g.drain = nil
+			for _, c := range ws {
+				c.Fire()
+			}
+		}
+		if done != nil {
+			done(werr)
+		}
+	}
+	for _, sh := range g.replicas {
+		sh.Submit(op, settle)
+	}
+}
+
+// awaitWrites blocks the calling process until every in-flight quorum
+// write has settled on all its replicas — the cutover barrier: after
+// it returns (with cutover already set, so nothing new enters), every
+// acknowledged write is durably on the surviving replicas and the
+// final delta copy will see it.
+func (g *Group) awaitWrites(p *sim.Proc) {
+	for g.inflight > 0 {
+		c := sim.NewCond(p.Engine())
+		g.drain = append(g.drain, c)
+		c.Await(p)
+	}
+}
+
+// swap replaces src with dst in the replica set (the cutover's last
+// step, after the final delta landed).
+func (g *Group) swap(src, dst *serve.Shard) {
+	for i, sh := range g.replicas {
+		if sh == src {
+			g.replicas[i] = dst
+		}
+	}
+}
+
+// releaseHeld replays the writes parked during cutover against the
+// (new) replica set, charging the hold time to the ledger. The
+// migration must already be cleared so the replay takes the normal
+// path.
+func (g *Group) releaseHeld(held []heldOp) {
+	now := g.pl.fab.Engine().Now()
+	for _, h := range held {
+		g.led.HoldNs += int64(now - h.at)
+		g.submitWrite(h.op, h.done)
+	}
+}

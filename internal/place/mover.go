@@ -1,0 +1,365 @@
+package place
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/blockdev"
+	"repro/internal/kvstore"
+	"repro/internal/metrics"
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+// MoverConfig tunes the live-migration controller.
+type MoverConfig struct {
+	// Interval is the poll cadence (0 = 1ms).
+	Interval sim.Time
+	// DriftThreshold arms drift alarms per device over the stack's
+	// calibration estimator, one per op class: a device whose windowed
+	// read or write service time reaches this multiple of its armed
+	// baseline is evacuated. Both classes are watched because steering
+	// itself moves reads off a sick device — quorum writes cannot be
+	// steered away, so the write class keeps reporting a device the
+	// read class has gone quiet on. 0 = 1.5; needs
+	// serve.Config.Calibrate, silently inactive without it (the
+	// estimator is the sensor).
+	DriftThreshold float64
+	// DriftMinSamples is the window occupancy required before a
+	// device's baseline arms or its trend is trusted (0 = 24).
+	DriftMinSamples int64
+	// MissRate, when positive, migrates a group whose interval
+	// deadline-miss rate (across its replicas) stays at or above this
+	// for MissIntervals consecutive polls — the SLO-side trigger the
+	// ROADMAP queued alongside the drift alarm.
+	MissRate      float64
+	MissIntervals int // 0 = 3
+	// MissMinServed is the served-requests floor per interval below
+	// which the miss rate is noise, not signal (0 = 16).
+	MissMinServed int64
+	// CopyBatch is keys per bulk/delta copy transaction (0 = 8).
+	CopyBatch int
+	// CatchupRounds bounds pre-cutover delta passes; whatever delta
+	// remains after them is copied under the cutover hold (0 = 4).
+	CatchupRounds int
+	// CatchupThreshold is the dirty-key count small enough to stop
+	// catching up and cut over (0 = 16).
+	CatchupThreshold int
+}
+
+// Mover watches the fabric's health signals and performs live replica
+// migrations: drift-alarmed devices are evacuated, persistently
+// missing groups are moved off their worst device. One migration runs
+// at a time (the mover is one process); groups keep serving throughout.
+type Mover struct {
+	pl  *Placement
+	cfg MoverConfig
+	led metrics.PlaceLedger
+
+	alarms [][]*metrics.DriftAlarm // per device, read+write class; empty without an estimator
+	evac   []bool                  // devices already being drained
+
+	// Interval miss-rate state per group.
+	lastMissed, lastServed []int64
+	badIntervals           []int
+}
+
+// StartMover builds the migration controller and starts its polling
+// process on the fabric's engine. It stops itself when the fabric
+// stops.
+func (pl *Placement) StartMover(cfg MoverConfig) *Mover {
+	if cfg.Interval <= 0 {
+		cfg.Interval = sim.Millisecond
+	}
+	if cfg.DriftThreshold <= 0 {
+		cfg.DriftThreshold = 1.5
+	}
+	if cfg.DriftMinSamples <= 0 {
+		cfg.DriftMinSamples = 24
+	}
+	if cfg.MissIntervals <= 0 {
+		cfg.MissIntervals = 3
+	}
+	if cfg.MissMinServed <= 0 {
+		cfg.MissMinServed = 16
+	}
+	if cfg.CopyBatch <= 0 {
+		cfg.CopyBatch = 8
+	}
+	if cfg.CatchupRounds <= 0 {
+		cfg.CatchupRounds = 4
+	}
+	if cfg.CatchupThreshold <= 0 {
+		cfg.CatchupThreshold = 16
+	}
+	m := &Mover{
+		pl:           pl,
+		cfg:          cfg,
+		alarms:       make([][]*metrics.DriftAlarm, pl.fab.Devices()),
+		evac:         make([]bool, pl.fab.Devices()),
+		lastMissed:   make([]int64, len(pl.groups)),
+		lastServed:   make([]int64, len(pl.groups)),
+		badIntervals: make([]int, len(pl.groups)),
+	}
+	for d := 0; d < pl.fab.Devices(); d++ {
+		if est := pl.fab.Stack(d).ServiceEstimator(); est != nil {
+			m.alarms[d] = []*metrics.DriftAlarm{
+				est.Class(blockdev.SvcRead).DriftAlarm(cfg.DriftThreshold, cfg.DriftMinSamples),
+				est.Class(blockdev.SvcWrite).DriftAlarm(cfg.DriftThreshold, cfg.DriftMinSamples),
+			}
+		}
+	}
+	pl.mover = m
+	pl.fab.Engine().Go(m.run)
+	return m
+}
+
+// Ledger returns the mover's migration accounting.
+func (m *Mover) Ledger() metrics.PlaceLedger { return m.led }
+
+// Alarms exposes device d's drift alarms — read then write class
+// (empty without an estimator).
+func (m *Mover) Alarms(d int) []*metrics.DriftAlarm { return m.alarms[d] }
+
+// DriftTripped reports whether any of device d's drift alarms has
+// fired.
+func (m *Mover) DriftTripped(d int) bool {
+	for _, a := range m.alarms[d] {
+		if a.Tripped() {
+			return true
+		}
+	}
+	return false
+}
+
+// run is the mover process: poll, trigger, migrate, repeat.
+func (m *Mover) run(p *sim.Proc) {
+	for {
+		p.Sleep(m.cfg.Interval)
+		if m.pl.fab.Stopped() {
+			return
+		}
+		m.poll(p)
+	}
+}
+
+// poll checks every trigger once and performs any migrations they
+// demand, serially.
+func (m *Mover) poll(p *sim.Proc) {
+	now := int64(p.Now())
+	// Drift: a tripped device is evacuated — every group with a replica
+	// there moves it elsewhere. The evacuation flag persists, and every
+	// poll retries whatever is still stranded on the device: a replica
+	// that found no destination this round (spare slots exhausted,
+	// sibling constraints) leaves again the moment a slot frees.
+	for d, as := range m.alarms {
+		if len(as) == 0 {
+			continue
+		}
+		if !m.evac[d] {
+			tripped := false
+			for _, a := range as {
+				if a.Check(now) {
+					tripped = true
+				}
+			}
+			if !tripped {
+				continue
+			}
+			m.led.DriftTrips++
+			m.evac[d] = true
+		}
+		for _, g := range m.pl.groups {
+			if m.pl.fab.Stopped() {
+				return
+			}
+			for _, sh := range g.replicas {
+				if sh.DeviceIndex() == d {
+					m.migrate(p, g, sh)
+					break
+				}
+			}
+		}
+	}
+	// Sustained interval miss rate: move the group's replica on the
+	// worst-scoring device.
+	if m.cfg.MissRate <= 0 {
+		return
+	}
+	for gi, g := range m.pl.groups {
+		var missed, served int64
+		for _, sh := range g.replicas {
+			missed += sh.Stats().DeadlineMissed
+			served += sh.Stats().Served
+		}
+		dm, ds := missed-m.lastMissed[gi], served-m.lastServed[gi]
+		m.lastMissed[gi], m.lastServed[gi] = missed, served
+		if ds < m.cfg.MissMinServed || float64(dm)/float64(ds) < m.cfg.MissRate {
+			m.badIntervals[gi] = 0
+			continue
+		}
+		if m.badIntervals[gi]++; m.badIntervals[gi] < m.cfg.MissIntervals {
+			continue
+		}
+		m.badIntervals[gi] = 0
+		worst := g.replicas[0]
+		for _, sh := range g.replicas[1:] {
+			if m.pl.deviceScore(worst.DeviceIndex()).less(m.pl.deviceScore(sh.DeviceIndex())) {
+				worst = sh
+			}
+		}
+		m.led.MissTrips++
+		m.migrate(p, g, worst)
+	}
+}
+
+// destination picks the device for g's new replica: not a device the
+// group already occupies, with a free region slot, healthiest first
+// (spares usually win — they are idle), free slots breaking ties.
+func (m *Mover) destination(g *Group, src *serve.Shard) (int, error) {
+	taken := map[int]bool{}
+	for _, sh := range g.replicas {
+		taken[sh.DeviceIndex()] = true
+	}
+	best, bestFree := -1, 0
+	var bestScore devScore
+	for d := 0; d < m.pl.fab.Devices(); d++ {
+		if taken[d] || m.evac[d] {
+			continue
+		}
+		free := m.pl.fab.FreeSlots(d)
+		if free == 0 {
+			continue
+		}
+		s := m.pl.deviceScore(d)
+		if best < 0 || s.less(bestScore) || (!bestScore.less(s) && free > bestFree) {
+			best, bestScore, bestFree = d, s, free
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("place: no destination device for logical shard %d (replica on device %d)", g.idx, src.DeviceIndex())
+	}
+	return best, nil
+}
+
+// migrate moves g's replica src to a fresh shard elsewhere while the
+// group keeps serving: bulk copy from the healthiest surviving
+// replica's snapshot, delta catch-up of keys written meanwhile, then a
+// cutover that holds new writes, drains in-flight ones, copies the
+// last delta and swaps. A fabric stop mid-copy aborts cleanly.
+func (m *Mover) migrate(p *sim.Proc, g *Group, src *serve.Shard) {
+	if g.mig != nil || m.pl.fab.Stopped() {
+		return
+	}
+	d, err := m.destination(g, src)
+	if err != nil {
+		// Nowhere to go: not an error loop, just nothing to do now.
+		return
+	}
+	dst, err := m.pl.fab.AddReplica(p, g.idx, d)
+	if err != nil {
+		return
+	}
+	mig := &migration{src: src, dst: dst, dirty: map[string]struct{}{}}
+	g.mig = mig
+
+	// The copy source: the healthiest *surviving* replica — acked data
+	// is identical on all of them, and the device being evacuated is
+	// the last one that should stream a whole region, so src is only
+	// read when it is the group's sole replica.
+	from := src
+	for _, sh := range g.replicas {
+		if sh == src {
+			continue
+		}
+		if from == src || m.pl.deviceScore(sh.DeviceIndex()).less(m.pl.deviceScore(from.DeviceIndex())) {
+			from = sh
+		}
+	}
+
+	abort := func() {
+		held := mig.held
+		mig.held = nil
+		g.mig = nil
+		m.pl.fab.Retire(dst)
+		m.led.MigrationsAborted++
+		g.releaseHeld(held) // fails with ErrStopped on a stopped fabric
+	}
+
+	copied, err := from.System().Store.CopyInto(p, dst.System().Store, m.cfg.CopyBatch)
+	m.led.CopiedKeys += copied
+	if err != nil || m.pl.fab.Stopped() {
+		abort()
+		return
+	}
+	// Delta catch-up: re-copy what the write path touched while the
+	// bulk copy ran; repeat while the delta stays large, bounded.
+	for round := 0; round < m.cfg.CatchupRounds && len(mig.dirty) > m.cfg.CatchupThreshold; round++ {
+		if err := m.copyDelta(p, g, from, dst, mig); err != nil || m.pl.fab.Stopped() {
+			abort()
+			return
+		}
+	}
+	// Cutover: new writes hold, in-flight writes settle everywhere,
+	// the final delta lands, the replica set swaps.
+	mig.cutover = true
+	g.awaitWrites(p)
+	if err := m.copyDelta(p, g, from, dst, mig); err != nil || m.pl.fab.Stopped() {
+		abort()
+		return
+	}
+	if err := dst.System().Store.Checkpoint(p); err != nil {
+		abort()
+		return
+	}
+	g.swap(src, dst)
+	m.pl.fab.Retire(src)
+	held := mig.held
+	mig.held = nil
+	g.mig = nil
+	m.led.Migrations++
+	g.releaseHeld(held)
+}
+
+// copyDelta drains the migration's dirty set once: the current keys
+// are re-read from the copy source and written to the destination in
+// batches; keys written while this pass runs land in a fresh dirty set
+// for the next pass (or the cutover's final one).
+func (m *Mover) copyDelta(p *sim.Proc, g *Group, from, dst *serve.Shard, mig *migration) error {
+	keys := make([]string, 0, len(mig.dirty))
+	for k := range mig.dirty {
+		keys = append(keys, k)
+	}
+	// Map order is random; the simulation is not. Sort so every run
+	// issues the same I/O sequence.
+	sort.Strings(keys)
+	mig.dirty = map[string]struct{}{}
+	m.led.CatchupRounds++
+	for i := 0; i < len(keys); i += m.cfg.CopyBatch {
+		end := i + m.cfg.CopyBatch
+		if end > len(keys) {
+			end = len(keys)
+		}
+		tx := dst.System().Store.Begin()
+		n := 0
+		for _, k := range keys[i:end] {
+			v, err := from.System().Store.Get(p, []byte(k))
+			if errors.Is(err, kvstore.ErrNotFound) {
+				continue // written but rejected everywhere, or deleted
+			}
+			if err != nil {
+				return err
+			}
+			tx.Put([]byte(k), v)
+			n++
+			m.led.DeltaKeys++
+		}
+		if n > 0 {
+			if err := tx.Commit(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package place
+
+import (
+	"fmt"
+
+	"repro/internal/blockdev"
+	"repro/internal/ftl"
+	"repro/internal/metrics"
+	"repro/internal/serve"
+)
+
+// Placement groups a replicated fabric's physical shards into replica
+// groups and serves as the frontend's router: one routing target per
+// logical shard, quorum writes and steered reads inside each.
+type Placement struct {
+	fab     *serve.Fabric
+	groups  []*Group
+	targets []serve.Target
+	mover   *Mover
+}
+
+// New builds the placement over a fabric assembled with
+// serve.Config.Replicas. Every logical shard must have its full
+// replica set, each replica on a distinct device — which serve.New
+// guarantees; the check here catches fabrics modified since.
+func New(f *serve.Fabric) (*Placement, error) {
+	cfg := f.Config()
+	pl := &Placement{fab: f}
+	pl.groups = make([]*Group, cfg.Shards)
+	for i := range pl.groups {
+		pl.groups[i] = &Group{pl: pl, idx: i}
+	}
+	for _, sh := range f.Shards() {
+		l := sh.Logical()
+		if l < 0 || l >= len(pl.groups) {
+			return nil, fmt.Errorf("place: shard %s names logical shard %d of %d", sh.Name(), l, len(pl.groups))
+		}
+		pl.groups[l].replicas = append(pl.groups[l].replicas, sh)
+	}
+	for _, g := range pl.groups {
+		if len(g.replicas) != cfg.Replicas {
+			return nil, fmt.Errorf("place: logical shard %d has %d replicas, want %d", g.idx, len(g.replicas), cfg.Replicas)
+		}
+		seen := map[int]bool{}
+		for _, sh := range g.replicas {
+			if seen[sh.DeviceIndex()] {
+				return nil, fmt.Errorf("place: logical shard %d has two replicas on device %d", g.idx, sh.DeviceIndex())
+			}
+			seen[sh.DeviceIndex()] = true
+		}
+	}
+	pl.targets = make([]serve.Target, len(pl.groups))
+	for i, g := range pl.groups {
+		pl.targets[i] = g
+	}
+	return pl, nil
+}
+
+// Targets implements serve.Router: one stable target per logical
+// shard. Group membership changes under migration, but the table —
+// and therefore every key's assignment — does not.
+func (pl *Placement) Targets() []serve.Target { return pl.targets }
+
+// Attach points the frontend's routing at the replica groups.
+func (pl *Placement) Attach(fe *serve.Frontend) { fe.SetRouter(pl) }
+
+// Fabric returns the underlying serving fabric.
+func (pl *Placement) Fabric() *serve.Fabric { return pl.fab }
+
+// Groups returns the replica groups in logical-shard order.
+func (pl *Placement) Groups() []*Group { return pl.groups }
+
+// Group returns logical shard i's replica group.
+func (pl *Placement) Group(i int) *Group { return pl.groups[i] }
+
+// Mover returns the live-migration controller, or nil before
+// StartMover.
+func (pl *Placement) Mover() *Mover { return pl.mover }
+
+// Ledger merges every group's steering/quorum ledger with the mover's
+// migration ledger into one placement-wide view.
+func (pl *Placement) Ledger() metrics.PlaceLedger {
+	var l metrics.PlaceLedger
+	for _, g := range pl.groups {
+		l.Add(g.led)
+	}
+	if pl.mover != nil {
+		l.Add(pl.mover.led)
+	}
+	return l
+}
+
+// devScore is one device's health as the steering and destination
+// policies see it, compared lexicographically: chips currently
+// garbage-collecting (the live relocation traffic reads would queue
+// behind), then reported reclamation urgency (collection about to
+// start), then observed read service time (the slow-aging signal).
+type devScore struct {
+	chips   int
+	urgency int
+	svc     float64
+}
+
+func (a devScore) less(b devScore) bool {
+	if a.chips != b.chips {
+		return a.chips < b.chips
+	}
+	if a.urgency != b.urgency {
+		return a.urgency < b.urgency
+	}
+	return a.svc < b.svc
+}
+
+// deviceScore reads device d's current health signals. Every signal is
+// optional — an unscheduled fabric has no GC notifications, an
+// uncalibrated stack no estimator — and absent signals score zero, so
+// steering degrades toward round-robin as the fabric gets blinder.
+func (pl *Placement) deviceScore(d int) devScore {
+	var s devScore
+	if sc := pl.fab.Scheduler(d); sc != nil {
+		s.chips = sc.GCActiveChips()
+	}
+	stack := pl.fab.Stack(d)
+	if dev, ok := stack.Device().(interface{ GCUrgency() ftl.GCUrgency }); ok {
+		s.urgency = int(dev.GCUrgency())
+	}
+	if est := stack.ServiceEstimator(); est != nil {
+		s.svc = est.EWMA(blockdev.SvcRead)
+	}
+	return s
+}

@@ -44,11 +44,15 @@ type AutoscaleConfig struct {
 // Autoscaler drives the per-shard control loop. Its counters are the
 // oscillation evidence experiments quote: a converging controller
 // shows a short burst of walks and then silence.
+// The per-shard state is keyed by the shard, not its position: live
+// migration (package place) grows and shrinks the fabric's shard list
+// mid-run, and a positional snapshot would drift — or index out of
+// range — the first time a replica is grafted in or retired.
 type Autoscaler struct {
 	fab  *Fabric
 	cfg  AutoscaleConfig
-	prev []metrics.ShardCounters // last tick's counter snapshot
-	hold []int                   // cooldown intervals remaining
+	prev map[*Shard]metrics.ShardCounters // last tick's counter snapshot
+	hold map[*Shard]int                   // cooldown intervals remaining
 
 	// Grows/Shrinks count worker-pool walks; RateUps/RateDowns count
 	// admission-rate walks; Ticks counts control periods.
@@ -93,13 +97,20 @@ func newAutoscaler(f *Fabric, cfg AutoscaleConfig) *Autoscaler {
 	return &Autoscaler{
 		fab:  f,
 		cfg:  cfg,
-		prev: make([]metrics.ShardCounters, len(f.shards)),
-		hold: make([]int, len(f.shards)),
+		prev: make(map[*Shard]metrics.ShardCounters, len(f.shards)),
+		hold: make(map[*Shard]int, len(f.shards)),
 	}
 }
 
 // Config reports the controller's bounds after defaulting.
 func (a *Autoscaler) Config() AutoscaleConfig { return a.cfg }
+
+// forget drops a retired shard's controller state (called by
+// Fabric.Retire, so recurring migrations cannot grow the maps).
+func (a *Autoscaler) forget(sh *Shard) {
+	delete(a.prev, sh)
+	delete(a.hold, sh)
+}
 
 // Walks sums every actuation the controller ever made — the number an
 // oscillation check bounds.
@@ -117,26 +128,29 @@ func (a *Autoscaler) run(p *sim.Proc) {
 			continue // never rescale a fabric mid-recovery
 		}
 		a.Ticks++
-		for i, sh := range a.fab.shards {
-			a.tickShard(i, sh)
+		for _, sh := range append([]*Shard(nil), a.fab.shards...) {
+			a.tickShard(sh)
 		}
 	}
 }
 
 // tickShard makes one control decision for one shard from its interval
 // delta counters.
-func (a *Autoscaler) tickShard(i int, sh *Shard) {
+func (a *Autoscaler) tickShard(sh *Shard) {
+	if sh.retired {
+		return
+	}
 	cur := *sh.stats
 	d := cur
-	p := a.prev[i]
+	p := a.prev[sh]
 	d.Submitted -= p.Submitted
 	d.Served -= p.Served
 	d.Rejected -= p.Rejected
 	d.DeadlineMissed -= p.DeadlineMissed
-	a.prev[i] = cur
+	a.prev[sh] = cur
 
-	if a.hold[i] > 0 {
-		a.hold[i]--
+	if a.hold[sh] > 0 {
+		a.hold[sh]--
 		return
 	}
 	if d.Submitted < 0 || d.Served < 0 || d.Rejected < 0 || d.DeadlineMissed < 0 {
@@ -161,7 +175,7 @@ func (a *Autoscaler) tickShard(i int, sh *Shard) {
 		if sh.target < a.cfg.MaxWorkers {
 			sh.setWorkers(sh.target + 1)
 			a.Grows++
-			a.hold[i] = a.cfg.Cooldown
+			a.hold[sh] = a.cfg.Cooldown
 		} else if sh.rate > 0 && sh.rate > a.cfg.MinRate {
 			next := sh.rate / a.cfg.RateStep
 			if next < a.cfg.MinRate {
@@ -169,7 +183,7 @@ func (a *Autoscaler) tickShard(i int, sh *Shard) {
 			}
 			sh.setRate(next)
 			a.RateDowns++
-			a.hold[i] = a.cfg.Cooldown
+			a.hold[sh] = a.cfg.Cooldown
 		}
 	case miss < a.cfg.MissLow:
 		// The SLO has slack. First hand back admission headroom that an
@@ -184,11 +198,11 @@ func (a *Autoscaler) tickShard(i int, sh *Shard) {
 			}
 			sh.setRate(next)
 			a.RateUps++
-			a.hold[i] = a.cfg.Cooldown
+			a.hold[sh] = a.cfg.Cooldown
 		} else if sh.target > a.cfg.MinWorkers && len(sh.queue) == 0 && rej == 0 {
 			sh.setWorkers(sh.target - 1)
 			a.Shrinks++
-			a.hold[i] = a.cfg.Cooldown
+			a.hold[sh] = a.cfg.Cooldown
 		}
 	}
 }

@@ -11,11 +11,34 @@ import (
 	"repro/internal/workload"
 )
 
+// Target is one routable serving destination: a physical Shard in the
+// default single-placement fabric, or a replica group (package place)
+// that fans a request out behind the same submit surface.
+type Target interface {
+	// Submit routes one request through the target's admission path;
+	// done fires exactly once.
+	Submit(op Op, done func(error))
+	// Systems lists the KV systems that must hold every key routed to
+	// this target — one per replica. Preload and churn write all of
+	// them, so replicas start identical.
+	Systems() []*kvstore.System
+}
+
+// Router supplies the frontend's routing table: key k is served by
+// Targets()[FNV32a(k) mod len]. The table's order must be stable for
+// the life of the router — that is what keeps a key's assignment
+// stable across crashes and reopens.
+type Router interface {
+	Targets() []Target
+}
+
 // Frontend is the client-facing edge of the fabric: it hash-routes keys
-// to shards and drives client populations from workload.TenantSpec
-// mixes. Keys are "userNNNNNNNN" over [0, Keys).
+// to targets (physical shards by default, replica groups when a router
+// from package place is attached) and drives client populations from
+// workload.TenantSpec mixes. Keys are "userNNNNNNNN" over [0, Keys).
 type Frontend struct {
-	fab *Fabric
+	fab    *Fabric
+	router Router // nil = the fabric's own shard table
 	// Keys is the frontend's key-space size.
 	Keys int64
 	// ValueSize is the payload per written key.
@@ -52,16 +75,43 @@ func (f *Frontend) Key(i int64) []byte {
 	return []byte(fmt.Sprintf("user%08d", i))
 }
 
-// ShardFor routes a key to its shard (FNV-1a over the key bytes).
-func (f *Frontend) ShardFor(key []byte) *Shard {
-	h := fnv.New32a()
-	h.Write(key)
-	return f.fab.shards[h.Sum32()%uint32(len(f.fab.shards))]
+// SetRouter replaces the frontend's routing table (package place
+// attaches its replica groups here). A nil router restores the default
+// fabric shard table.
+func (f *Frontend) SetRouter(r Router) { f.router = r }
+
+// targets returns the live routing table.
+func (f *Frontend) targets() []Target {
+	if f.router != nil {
+		return f.router.Targets()
+	}
+	return f.fab.Targets()
 }
 
-// Submit routes op to its key's shard through admission control.
+// routeIndex hashes a key into an n-entry routing table (FNV-1a over
+// the key bytes).
+func routeIndex(key []byte, n int) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32() % uint32(n))
+}
+
+// TargetFor routes a key to its serving target.
+func (f *Frontend) TargetFor(key []byte) Target {
+	ts := f.targets()
+	return ts[routeIndex(key, len(ts))]
+}
+
+// ShardFor routes a key to its physical shard on the default router.
+// With a replica-aware router attached, use TargetFor — the fabric's
+// raw shard table no longer is the routing table.
+func (f *Frontend) ShardFor(key []byte) *Shard {
+	return f.fab.shards[routeIndex(key, len(f.fab.shards))]
+}
+
+// Submit routes op to its key's target through admission control.
 func (f *Frontend) Submit(op Op, done func(error)) {
-	f.ShardFor(op.Key).Submit(op, done)
+	f.TargetFor(op.Key).Submit(op, done)
 }
 
 // do submits op and blocks the calling process until it settles.
@@ -102,37 +152,52 @@ func (f *Frontend) valueFor(i int64, salt byte) []byte {
 	return v
 }
 
-// writeAll writes every key once, straight into the shard stores
-// (bypassing admission), then checkpoints each shard so the trees land
-// on flash.
+// writeAll writes every key once, straight into every backing store of
+// its target (bypassing admission — and writing every replica, so
+// replicated placements start identical), then checkpoints each store
+// so the trees land on flash.
 func (f *Frontend) writeAll(p *sim.Proc, salt byte) error {
 	const batch = 8
-	txns := make([]*kvstore.Txn, len(f.fab.shards))
-	counts := make([]int, len(f.fab.shards))
+	ts := f.targets()
+	txns := make([][]*kvstore.Txn, len(ts))
+	counts := make([]int, len(ts))
+	for ti, t := range ts {
+		txns[ti] = make([]*kvstore.Txn, len(t.Systems()))
+	}
 	for i := int64(0); i < f.Keys; i++ {
 		key := f.Key(i)
-		sh := f.ShardFor(key)
-		if txns[sh.idx] == nil {
-			txns[sh.idx] = sh.sys.Store.Begin()
-		}
-		txns[sh.idx].Put(key, f.valueFor(i, salt))
-		if counts[sh.idx]++; counts[sh.idx]%batch == 0 {
-			if err := txns[sh.idx].Commit(p); err != nil {
-				return fmt.Errorf("serve: preload shard %d: %w", sh.idx, err)
+		ti := routeIndex(key, len(ts))
+		for si, sys := range ts[ti].Systems() {
+			if txns[ti][si] == nil {
+				txns[ti][si] = sys.Store.Begin()
 			}
-			txns[sh.idx] = nil
+			txns[ti][si].Put(key, f.valueFor(i, salt))
+		}
+		if counts[ti]++; counts[ti]%batch == 0 {
+			for si, tx := range txns[ti] {
+				if tx != nil {
+					if err := tx.Commit(p); err != nil {
+						return fmt.Errorf("serve: preload target %d: %w", ti, err)
+					}
+					txns[ti][si] = nil
+				}
+			}
 		}
 	}
-	for idx, tx := range txns {
-		if tx != nil {
-			if err := tx.Commit(p); err != nil {
-				return fmt.Errorf("serve: preload shard %d: %w", idx, err)
+	for ti := range txns {
+		for _, tx := range txns[ti] {
+			if tx != nil {
+				if err := tx.Commit(p); err != nil {
+					return fmt.Errorf("serve: preload target %d: %w", ti, err)
+				}
 			}
 		}
 	}
-	for _, sh := range f.fab.shards {
-		if err := sh.sys.Store.Checkpoint(p); err != nil {
-			return fmt.Errorf("serve: preload checkpoint shard %d: %w", sh.idx, err)
+	for ti, t := range ts {
+		for _, sys := range t.Systems() {
+			if err := sys.Store.Checkpoint(p); err != nil {
+				return fmt.Errorf("serve: preload checkpoint target %d: %w", ti, err)
+			}
 		}
 	}
 	return nil

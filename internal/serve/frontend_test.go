@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestFrontendRoutingSpreadsKeys: the hash router must give every
+// shard a meaningful slice of the key space at 1, 4 and 16 shards —
+// no empty shard, no shard further than 2x from the fair share.
+func TestFrontendRoutingSpreadsKeys(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		shards := shards
+		withFabric(t, baseConfig(shards), func(p *sim.Proc, f *Fabric) {
+			const keys = 4096
+			fe := NewFrontend(f, keys, 32)
+			counts := make(map[*Shard]int)
+			for i := int64(0); i < keys; i++ {
+				tgt := fe.TargetFor(fe.Key(i))
+				sh, ok := tgt.(*Shard)
+				if !ok {
+					t.Fatalf("default router target is %T, want *Shard", tgt)
+				}
+				if again := fe.TargetFor(fe.Key(i)); again != tgt {
+					t.Fatalf("key %d routed to two targets", i)
+				}
+				if sh != fe.ShardFor(fe.Key(i)) {
+					t.Fatalf("key %d: TargetFor and ShardFor disagree", i)
+				}
+				counts[sh]++
+			}
+			if len(counts) != shards {
+				t.Fatalf("%d shards reached, want %d", len(counts), shards)
+			}
+			fair := keys / shards
+			for _, sh := range f.Shards() {
+				got := counts[sh]
+				if got < fair/2 || got > 2*fair {
+					t.Errorf("%d shards: %s got %d keys, fair share %d (outside [1/2, 2]x)",
+						shards, sh.Name(), got, fair)
+				}
+			}
+		})
+	}
+}
+
+// TestFrontendRoutingStableAcrossReopen: a key's shard assignment must
+// survive a whole-fabric crash and reopen — the shards' stores are
+// rebuilt, but the routing table (and so the key→region mapping the
+// preloaded data depends on) cannot move.
+func TestFrontendRoutingStableAcrossReopen(t *testing.T) {
+	cfg := baseConfig(4)
+	withFabric(t, cfg, func(p *sim.Proc, f *Fabric) {
+		const keys = 256
+		fe := NewFrontend(f, keys, 32)
+		if err := fe.Preload(p); err != nil {
+			t.Fatalf("preload: %v", err)
+		}
+		before := make([]int, keys)
+		for i := int64(0); i < keys; i++ {
+			before[i] = fe.ShardFor(fe.Key(i)).Index()
+		}
+		if err := f.Crash(p); err != nil {
+			t.Fatalf("crash: %v", err)
+		}
+		for i := int64(0); i < keys; i++ {
+			sh := fe.ShardFor(fe.Key(i))
+			if sh.Index() != before[i] {
+				t.Fatalf("key %d moved from shard %d to %d across reopen", i, before[i], sh.Index())
+			}
+			// And the reopened shard really holds the key it is routed
+			// for — assignment stability is what makes recovery find the
+			// data where the router sends the reads.
+			if _, err := sh.System().Store.Get(p, fe.Key(i)); err != nil {
+				t.Fatalf("key %d missing from its shard after reopen: %v", i, err)
+			}
+		}
+	})
+}

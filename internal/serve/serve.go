@@ -70,11 +70,25 @@ type AdmissionConfig struct {
 
 // Config parameterizes a Fabric.
 type Config struct {
-	// Shards is the number of KV shards (minimum 1).
+	// Shards is the number of logical KV shards (minimum 1).
 	Shards int
 	// Devices is the number of flash devices shards are spread over,
-	// round-robin (0 = 1).
+	// round-robin (0 = 1; raised to Replicas so replicas land on
+	// distinct devices).
 	Devices int
+	// Replicas is the number of device-backed replicas per logical
+	// shard (0 or 1 = single placement, the pre-replication fabric).
+	// With R > 1 the fabric builds Shards×R physical shards, replica r
+	// of logical shard i on device (i+r) mod Devices, so no logical
+	// shard ever has two replicas on one device. The raw fabric does
+	// not make replicas coherent — quorum writes, steered reads and
+	// live migration live in package place, which routes the frontend
+	// to replica groups instead of physical shards.
+	Replicas int
+	// Spares is the number of extra devices built, scheduled and carved
+	// exactly like the placed ones but left empty: live-migration
+	// destinations (place.Mover).
+	Spares int
 	// Mode selects the submission path of every device's stack.
 	Mode blockdev.Mode
 	// DeviceOptions scales the flash devices (preset Enterprise2012;
@@ -155,6 +169,18 @@ type Fabric struct {
 	stopped  bool
 	crashing bool
 
+	// Region bookkeeping: every device (spares included) is carved into
+	// the same number of equal page regions ("slots"); slotOwner tracks
+	// which shard holds each one, so live migration can carve a fresh
+	// replica on any device with a free slot and retiring a shard frees
+	// its slot for reuse.
+	placed    int // devices holding initial placements (the rest are spares)
+	slots     int // regions per device
+	slotSpan  int64
+	slotOwner [][]*Shard
+	grafts    int      // migrated-in replicas built so far (names stay unique)
+	targets   []Target // cached default routing table (nil after shard set changes)
+
 	// Errors counts served requests that failed in the storage engine
 	// (not admission rejects) — should stay zero in a sized fabric.
 	Errors int64
@@ -171,8 +197,19 @@ func New(p *sim.Proc, eng *sim.Engine, cfg Config) (*Fabric, error) {
 	if cfg.Devices < 1 {
 		cfg.Devices = 1
 	}
-	if cfg.Devices > cfg.Shards {
-		cfg.Devices = cfg.Shards
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
+	}
+	if cfg.Spares < 0 {
+		cfg.Spares = 0
+	}
+	// Replicas of one shard must land on distinct devices, and devices
+	// beyond one per physical shard would sit empty.
+	if cfg.Devices < cfg.Replicas {
+		cfg.Devices = cfg.Replicas
+	}
+	if physical := cfg.Shards * cfg.Replicas; cfg.Devices > physical {
+		cfg.Devices = physical
 	}
 	if cfg.WorkersPerShard < 1 {
 		cfg.WorkersPerShard = 2
@@ -222,12 +259,33 @@ func New(p *sim.Proc, eng *sim.Engine, cfg Config) (*Fabric, error) {
 		shardLat: metrics.NewTenantLatencies(),
 	}
 
+	// Placement: replica r of logical shard i on device (i+r) mod
+	// Devices. Every device — spares included — is carved into the same
+	// number of region slots (the most any placed device holds), so a
+	// migrated replica fits any device with a free slot.
+	shardsOn := make([]int, cfg.Devices)
+	for i := 0; i < cfg.Shards; i++ {
+		for r := 0; r < cfg.Replicas; r++ {
+			shardsOn[(i+r)%cfg.Devices]++
+		}
+	}
+	slots := 0
+	for _, n := range shardsOn {
+		if n > slots {
+			slots = n
+		}
+	}
+	totalDevices := cfg.Devices + cfg.Spares
+	f.placed = cfg.Devices
+	f.slots = slots
+
 	preset := ssd.Enterprise2012
 	if cfg.Progressive {
 		// The atomic meta flip needs the safe buffer; PCM WAL regions
-		// share one memory bus.
+		// share one memory bus (one region per slot fabric-wide, so
+		// migrated-in replicas have their own WAL region too).
 		buscfg := pcm.DefaultConfig()
-		need := int64(cfg.Shards) * cfg.LogBytes
+		need := int64(totalDevices*slots) * cfg.LogBytes
 		if buscfg.CapacityBytes < need {
 			buscfg.CapacityBytes = need
 		}
@@ -238,12 +296,8 @@ func New(p *sim.Proc, eng *sim.Engine, cfg Config) (*Fabric, error) {
 		f.membus = pcm.NewMemBus(eng, pdev)
 	}
 
-	shardsOn := make([]int, cfg.Devices)
-	for i := 0; i < cfg.Shards; i++ {
-		shardsOn[i%cfg.Devices]++
-	}
-	workersPerDevice := (cfg.Shards/cfg.Devices + 1) * cfg.WorkersPerShard
-	for d := 0; d < cfg.Devices; d++ {
+	workersPerDevice := (slots + 1) * cfg.WorkersPerShard
+	for d := 0; d < totalDevices; d++ {
 		opts := cfg.DeviceOptions
 		opts.Seed = uint64(d + 1)
 		dev, err := ssd.Build(eng, preset, opts)
@@ -276,61 +330,166 @@ func New(p *sim.Proc, eng *sim.Engine, cfg Config) (*Fabric, error) {
 	}
 
 	// Carve per-shard regions and open the stores.
-	next := make([]int, cfg.Devices) // shards placed so far per device
+	f.slotSpan = f.groups[0].dev.Capacity() / int64(slots)
+	f.slotOwner = make([][]*Shard, totalDevices)
+	for d := range f.slotOwner {
+		f.slotOwner[d] = make([]*Shard, slots)
+	}
 	for i := 0; i < cfg.Shards; i++ {
-		d := i % cfg.Devices
-		g := f.groups[d]
-		span := g.dev.Capacity() / int64(shardsOn[d])
-		region := kvstore.ShardRegion{
-			Base:       int64(next[d]) * span,
-			Span:       span,
-			LogPages:   cfg.LogPages,
-			LogBase:    int64(i) * cfg.LogBytes,
-			LogBytes:   cfg.LogBytes,
-			SubmitCore: next[d] * cfg.WorkersPerShard,
+		for r := 0; r < cfg.Replicas; r++ {
+			name := fmt.Sprintf("shard%d", i)
+			if cfg.Replicas > 1 {
+				name = fmt.Sprintf("shard%d.r%d", i, r)
+			}
+			if _, err := f.buildShard(p, name, i, r, (i+r)%cfg.Devices); err != nil {
+				return nil, err
+			}
 		}
-		next[d]++
-		name := fmt.Sprintf("shard%d", i)
-		if g.sched != nil {
-			// Every shard serves a hash-slice of every tenant's keys, so
-			// shards are peers: equal weight, latency class (GC deferral
-			// stays a per-request policy, not a per-shard one).
-			region.Tenant = g.sched.AddTenant(name, sched.LatencySensitive, 1)
-		}
-		var sys *kvstore.System
-		var err error
-		if cfg.Progressive {
-			sys, err = kvstore.BuildShardProgressive(p, eng, g.stack, f.membus, region, cfg.Store)
-		} else {
-			sys, err = kvstore.BuildShardConservative(p, eng, g.stack, region, cfg.Store)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
-		}
-		sh := &Shard{
-			fab:    f,
-			idx:    i,
-			name:   name,
-			group:  g,
-			sys:    sys,
-			tenant: region.Tenant,
-			stats:  f.stats.Shard(name),
-			rate:   cfg.Admission.Rate,
-			bucket: sched.NewTokenBucket(cfg.Admission.Rate, cfg.Admission.Burst, eng.Now()),
-		}
-		if cfg.Admission.Adaptive {
-			// The estimator exists only when a policy consumes it, so the
-			// static plane's serving hot path pays no measurement cost.
-			sh.svc = metrics.NewEstimator(int64(cfg.Admission.EstimatorWindow), 4, 0.1)
-		}
-		f.shards = append(f.shards, sh)
-		sh.setWorkers(cfg.WorkersPerShard)
 	}
 	if cfg.Autoscale.Enabled {
 		f.scaler = newAutoscaler(f, cfg.Autoscale)
 		eng.Go(f.scaler.run)
 	}
 	return f, nil
+}
+
+// buildShard carves a free region slot on device d and opens a physical
+// shard there: its own scheduler tenant, WAL region, admission state
+// and worker pool. Both the initial placement and live migration
+// destinations come through here.
+func (f *Fabric) buildShard(p *sim.Proc, name string, logical, replica, d int) (*Shard, error) {
+	g := f.groups[d]
+	slot := -1
+	for s, owner := range f.slotOwner[d] {
+		if owner == nil {
+			slot = s
+			break
+		}
+	}
+	if slot < 0 {
+		return nil, fmt.Errorf("serve: no free region slot on device %d", d)
+	}
+	region := kvstore.ShardRegion{
+		Base:       int64(slot) * f.slotSpan,
+		Span:       f.slotSpan,
+		LogPages:   f.cfg.LogPages,
+		LogBase:    int64(d*f.slots+slot) * f.cfg.LogBytes,
+		LogBytes:   f.cfg.LogBytes,
+		SubmitCore: slot * f.cfg.WorkersPerShard,
+	}
+	if g.sched != nil {
+		// Every shard serves a hash-slice of every tenant's keys, so
+		// shards are peers: equal weight, latency class (GC deferral
+		// stays a per-request policy, not a per-shard one).
+		region.Tenant = g.sched.AddTenant(name, sched.LatencySensitive, 1)
+	}
+	var sys *kvstore.System
+	var err error
+	if f.cfg.Progressive {
+		sys, err = kvstore.BuildShardProgressive(p, f.eng, g.stack, f.membus, region, f.cfg.Store)
+	} else {
+		sys, err = kvstore.BuildShardConservative(p, f.eng, g.stack, region, f.cfg.Store)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: shard %s: %w", name, err)
+	}
+	sh := &Shard{
+		fab:     f,
+		idx:     len(f.shards),
+		name:    name,
+		logical: logical,
+		replica: replica,
+		dev:     d,
+		slot:    slot,
+		group:   g,
+		sys:     sys,
+		tenant:  region.Tenant,
+		stats:   f.stats.Shard(name),
+		rate:    f.cfg.Admission.Rate,
+		bucket:  sched.NewTokenBucket(f.cfg.Admission.Rate, f.cfg.Admission.Burst, f.eng.Now()),
+	}
+	if f.cfg.Admission.Adaptive {
+		// The estimator exists only when a policy consumes it, so the
+		// static plane's serving hot path pays no measurement cost.
+		sh.svc = metrics.NewEstimator(int64(f.cfg.Admission.EstimatorWindow), 4, 0.1)
+	}
+	f.slotOwner[d][slot] = sh
+	f.shards = append(f.shards, sh)
+	f.targets = nil
+	sh.setWorkers(f.cfg.WorkersPerShard)
+	return sh, nil
+}
+
+// AddReplica builds a fresh physical shard for logical shard logical on
+// device d — the destination of a live migration (place.Mover). The
+// new shard is empty, serves through its own admission queue and
+// workers, and is not routed to until a replica group adopts it. It
+// fails when device d has no free region slot.
+func (f *Fabric) AddReplica(p *sim.Proc, logical, d int) (*Shard, error) {
+	if logical < 0 || logical >= f.cfg.Shards {
+		return nil, fmt.Errorf("serve: logical shard %d out of range", logical)
+	}
+	if d < 0 || d >= len(f.groups) {
+		return nil, fmt.Errorf("serve: device %d out of range", d)
+	}
+	f.grafts++
+	return f.buildShard(p, fmt.Sprintf("shard%d.m%d", logical, f.grafts), logical, -1, d)
+}
+
+// Retire permanently removes sh from service: queued requests fail with
+// ErrStopped, its workers exit, and its region slot frees for a future
+// AddReplica. Its counters stay in Stats (the ledger keeps history).
+// Callers must stop routing to the shard first — package place swaps
+// the replica set before retiring the old replica.
+func (f *Fabric) Retire(sh *Shard) {
+	if sh.retired {
+		return
+	}
+	sh.retired = true
+	sh.failBacklog(ErrStopped)
+	ws := sh.waiters
+	sh.waiters = nil
+	for _, w := range ws {
+		w.Fire()
+	}
+	f.slotOwner[sh.dev][sh.slot] = nil
+	for i, s := range f.shards {
+		if s == sh {
+			f.shards = append(f.shards[:i], f.shards[i+1:]...)
+			break
+		}
+	}
+	if f.scaler != nil {
+		f.scaler.forget(sh)
+	}
+	f.targets = nil
+}
+
+// FreeSlots reports device d's unused region slots — where a migrated
+// replica could land.
+func (f *Fabric) FreeSlots(d int) int {
+	n := 0
+	for _, owner := range f.slotOwner[d] {
+		if owner == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Targets implements Router: the default routing table, one target per
+// physical shard in creation order. Fabrics built with Replicas > 1
+// must not be driven through this default — routing physical shards
+// directly would scatter a key's replicas — package place supplies the
+// replica-aware router instead.
+func (f *Fabric) Targets() []Target {
+	if f.targets == nil {
+		f.targets = make([]Target, len(f.shards))
+		for i, sh := range f.shards {
+			f.targets[i] = sh
+		}
+	}
+	return f.targets
 }
 
 // Engine returns the fabric's simulation engine.
@@ -386,8 +545,12 @@ func (f *Fabric) GCCoord() metrics.GCCoord {
 // Stack returns device d's block-layer stack.
 func (f *Fabric) Stack(d int) *blockdev.Stack { return f.groups[d].stack }
 
-// Devices reports the device count.
+// Devices reports the device count, spares included.
 func (f *Fabric) Devices() int { return len(f.groups) }
+
+// PlacedDevices reports the devices holding initial shard placements;
+// devices [PlacedDevices, Devices) are spares (Config.Spares).
+func (f *Fabric) PlacedDevices() int { return f.placed }
 
 // Served sums served requests across shards.
 func (f *Fabric) Served() int64 { return f.stats.Totals().Served }
@@ -421,6 +584,10 @@ func (f *Fabric) StopAt(at sim.Time, drain bool) {
 
 // Stopped reports whether the fabric has been stopped.
 func (f *Fabric) Stopped() bool { return f.stopped }
+
+// Crashing reports whether the fabric is mid-crash (replica routers
+// fail writes with ErrCrashed instead of fanning them out).
+func (f *Fabric) Crashing() bool { return f.crashing }
 
 // Crash models whole-fabric power loss and restart: every queued
 // request fails with ErrCrashed, in-flight requests finish (their acks

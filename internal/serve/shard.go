@@ -41,13 +41,18 @@ type Op struct {
 // region of shared hardware, its own scheduler tenant, a bounded
 // admission queue, and a pool of serving workers.
 type Shard struct {
-	fab    *Fabric
-	idx    int
-	name   string
-	group  *deviceGroup
-	sys    *kvstore.System
-	tenant *sched.Tenant
-	stats  *metrics.ShardCounters
+	fab     *Fabric
+	idx     int
+	name    string
+	logical int // logical shard this physical shard replicates
+	replica int // replica ordinal at placement (-1 for migrated-in)
+	dev     int // device index in the fabric
+	slot    int // region slot on that device
+	retired bool
+	group   *deviceGroup
+	sys     *kvstore.System
+	tenant  *sched.Tenant
+	stats   *metrics.ShardCounters
 
 	queue   []*Op
 	waiters []*sim.Cond
@@ -79,14 +84,32 @@ const svcAll = "all"
 // before adaptive deadlines and early drop replace the static policy.
 const adaptiveMinSamples = 16
 
-// Name returns the shard's name ("shardN").
+// Name returns the shard's name ("shardN"; "shardN.rR" replicated,
+// "shardN.mK" migrated-in).
 func (sh *Shard) Name() string { return sh.name }
 
-// Index returns the shard's index in the fabric.
+// Index returns the shard's creation ordinal in the fabric.
 func (sh *Shard) Index() int { return sh.idx }
+
+// Logical returns the logical shard this physical shard replicates.
+func (sh *Shard) Logical() int { return sh.logical }
+
+// Replica returns the shard's replica ordinal at initial placement, or
+// -1 for replicas grafted in by live migration.
+func (sh *Shard) Replica() int { return sh.replica }
+
+// DeviceIndex returns the fabric device the shard's region lives on.
+func (sh *Shard) DeviceIndex() int { return sh.dev }
+
+// Retired reports whether the shard has been removed from service.
+func (sh *Shard) Retired() bool { return sh.retired }
 
 // System exposes the shard's KV system (tests and instrumentation).
 func (sh *Shard) System() *kvstore.System { return sh.sys }
+
+// Systems implements Target: the single backing store of an unreplicated
+// target (replica groups return one per replica).
+func (sh *Shard) Systems() []*kvstore.System { return []*kvstore.System{sh.sys} }
 
 // Tenant returns the shard's scheduler tenant (nil when unscheduled).
 func (sh *Shard) Tenant() *sched.Tenant { return sh.tenant }
@@ -146,7 +169,7 @@ func (sh *Shard) setRate(perSec float64) {
 // forever. Requests arriving at a stopped or crashing fabric are not
 // part of the admission ledger.
 func (sh *Shard) Submit(op Op, done func(error)) {
-	if sh.fab.stopped || sh.fab.crashing {
+	if sh.fab.stopped || sh.fab.crashing || sh.retired {
 		if done != nil {
 			if sh.fab.crashing {
 				done(ErrCrashed)
@@ -199,6 +222,34 @@ func (sh *Shard) Submit(op Op, done func(error)) {
 		sh.waiters = sh.waiters[:n-1]
 		w.Fire()
 	}
+}
+
+// Admits reports whether a request of class c arriving right now would
+// pass admission, without consuming anything: the queue bound, the
+// early-drop prediction and the token balance are peeked, not taken.
+// Because the simulation is single-threaded, a caller that checks
+// Admits on several shards and then Submits to all of them in the same
+// event sees consistent answers — which is how replica groups (package
+// place) keep a quorum write from being half-applied: either every
+// replica admits it, or no replica sees it.
+func (sh *Shard) Admits(c sched.Class) bool {
+	if sh.fab.stopped || sh.fab.crashing || sh.retired {
+		return false
+	}
+	ac := &sh.fab.cfg.Admission
+	if !ac.Enabled {
+		return true
+	}
+	if len(sh.queue) >= ac.QueueLimit {
+		return false
+	}
+	if ac.Adaptive && sh.predictMiss(c) {
+		return false
+	}
+	if sh.bucket.Active() && sh.bucket.Tokens(sh.fab.eng.Now()) < 1 {
+		return false
+	}
+	return true
 }
 
 // failBacklog fails every queued request with err and settles the drop
@@ -286,7 +337,7 @@ func (sh *Shard) worker(p *sim.Proc) {
 	defer func() { sh.running-- }()
 	for {
 		for len(sh.queue) == 0 {
-			if sh.fab.stopped || sh.running > sh.target {
+			if sh.fab.stopped || sh.retired || sh.running > sh.target {
 				return
 			}
 			c := sim.NewCond(p.Engine())

@@ -16,8 +16,10 @@
 //   - a multi-tenant I/O scheduler (weighted fair queueing, rate caps,
 //     GC-aware deferral fed by device notifications) on the
 //     submission path;
-//   - the experiment suite E1-E16 that regenerates every figure and
-//     quantitative claim in the paper.
+//   - a replica placement layer over the fabric: quorum writes,
+//     GC-steered reads, drift-triggered live shard migration;
+//   - the experiment suite E1-E19: E1-E14 regenerate every figure and
+//     quantitative claim in the paper, E15-E19 grow the served system.
 //
 // Quick start:
 //
@@ -37,6 +39,7 @@ import (
 	"repro/internal/kvstore"
 	"repro/internal/metrics"
 	"repro/internal/pcm"
+	"repro/internal/place"
 	"repro/internal/sched"
 	"repro/internal/serve"
 	"repro/internal/sim"
@@ -254,6 +257,30 @@ func NewFrontend(fab *Fabric, keys int64, valueSize int) *Frontend {
 	return serve.NewFrontend(fab, keys, valueSize)
 }
 
+// Replica placement over the fabric (package place).
+type (
+	// Placement groups a replicated fabric's shards into replica groups
+	// (quorum writes, GC-steered reads) and routes the frontend to them.
+	Placement = place.Placement
+	// ReplicaGroup is one logical shard's replica set.
+	ReplicaGroup = place.Group
+	// Mover performs drift- and miss-triggered live shard migration.
+	Mover = place.Mover
+	// MoverConfig tunes the migration controller.
+	MoverConfig = place.MoverConfig
+	// PlaceLedger is the steering/quorum/migration accounting.
+	PlaceLedger = metrics.PlaceLedger
+	// DriftAlarm is the windowed service-time trend alarm migration
+	// consumes.
+	DriftAlarm = metrics.DriftAlarm
+)
+
+// NewPlacement groups a fabric built with FabricConfig.Replicas into
+// replica groups; attach it to a Frontend to serve through them.
+func NewPlacement(f *Fabric) (*Placement, error) {
+	return place.New(f)
+}
+
 // Workloads.
 type (
 	// Workload generates uFLIP-style access patterns.
@@ -280,7 +307,7 @@ func NewWorkload(p WorkloadPattern, span int64, seed uint64) (*Workload, error) 
 
 // Experiments.
 type (
-	// Experiment is one runner from the E1-E16 suite.
+	// Experiment is one runner from the E1-E19 suite.
 	Experiment = experiments.Runner
 	// ExperimentResult is a runner's tables, figures and finding.
 	ExperimentResult = experiments.Result
@@ -296,5 +323,5 @@ const (
 	Full = experiments.Full
 )
 
-// Experiments lists the full E1-E18 suite in paper order.
+// Experiments lists the full E1-E19 suite in paper order.
 func Experiments() []Experiment { return experiments.All }
