@@ -119,6 +119,13 @@ func BenchmarkE19ReplicatedPlacement(b *testing.B) {
 	benchExperiment(b, experiments.E19ReplicatedPlacement)
 }
 
+// BenchmarkE20Observability measures the tracing spine: per-request
+// spans threaded through every layer, span-vs-client closure, stage
+// attribution of the p99 and the tracing-overhead check.
+func BenchmarkE20Observability(b *testing.B) {
+	benchExperiment(b, experiments.E20Observability)
+}
+
 // ---- substrate microbenchmarks (real wall-clock cost of the simulator) ----
 
 // BenchmarkSimulatedPageWrite measures simulator throughput for the full

@@ -1,24 +1,27 @@
-// deathbench runs the full experiment suite (E1-E19): E1-E14 reproduce
+// deathbench runs the full experiment suite (E1-E20): E1-E14 reproduce
 // every figure and quantitative claim of "The Necessary Death of the
-// Block Device Interface", and E15-E19 extend the reproduction with the
+// Block Device Interface", and E15-E20 extend the reproduction with the
 // multi-tenant studies built on the paper's communication abstraction:
 // scheduler isolation (internal/sched), the sharded KV serving fabric
 // with admission control (internal/serve), host→device GC coordination
 // (the scheduler leasing GC deferrals from the device), the adaptive
 // control plane (observed-service-time feedback closing the loop around
-// billing, deadlines, admission and GC leases), and replicated shard
+// billing, deadlines, admission and GC leases), replicated shard
 // placement with GC-steered reads and drift-triggered live migration
-// (internal/place).
+// (internal/place), and end-to-end request tracing with per-stage
+// tail-latency attribution (internal/obs).
 // It prints the paper-style tables. docs/EXPERIMENTS.md indexes every
 // experiment with its headline result.
 //
 // Usage:
 //
-//	deathbench [-scale quick|full] [-only E5,E10] [-json results.json]
+//	deathbench [-scale quick|full] [-only E5,E10] [-json results.json] [-obs telemetry.json]
 //
 // With -json, machine-readable per-experiment results (id, title,
 // scale, finding, headline metrics) are written to the given path, so
-// the bench trajectory (BENCH_*.json) can be captured per run.
+// the bench trajectory (BENCH_*.json) can be captured per run. With
+// -obs, the unified telemetry snapshots (obs.Registry exports) of the
+// experiments that keep one are written as a map keyed by experiment ID.
 package main
 
 import (
@@ -44,6 +47,7 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	onlyFlag := flag.String("only", "", "comma-separated experiment IDs (e.g. E5,E10); empty = all")
 	jsonFlag := flag.String("json", "", "write machine-readable per-experiment results to this path")
+	obsFlag := flag.String("obs", "", "write per-experiment telemetry snapshots (registry exports) to this path")
 	flag.Parse()
 
 	scale := experiments.Quick
@@ -65,6 +69,7 @@ func main() {
 
 	failed := 0
 	var records []jsonResult
+	snapshots := map[string]map[string]any{}
 	for _, r := range experiments.All {
 		if len(want) > 0 && !want[r.ID] {
 			continue
@@ -83,20 +88,31 @@ func main() {
 			Finding:  res.Finding,
 			Headline: res.Headline,
 		})
+		if res.Obs != nil {
+			snapshots[res.ID] = res.Obs
+		}
 	}
 	if *jsonFlag != "" {
-		data, err := json.MarshalIndent(records, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "deathbench: marshal results: %v\n", err)
-			os.Exit(1)
-		}
-		data = append(data, '\n')
-		if err := os.WriteFile(*jsonFlag, data, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "deathbench: write %s: %v\n", *jsonFlag, err)
-			os.Exit(1)
-		}
+		writeJSON(*jsonFlag, records)
+	}
+	if *obsFlag != "" {
+		writeJSON(*obsFlag, snapshots)
 	}
 	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// writeJSON marshals v indented and writes it to path, exiting on error.
+func writeJSON(path string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deathbench: marshal %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "deathbench: write %s: %v\n", path, err)
 		os.Exit(1)
 	}
 }

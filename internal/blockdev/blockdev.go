@@ -17,7 +17,9 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/ftl"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/ssd"
@@ -157,6 +159,12 @@ type Stack struct {
 	svc               *metrics.Estimator
 	calRead, calWrite int
 
+	// Tracing (SetTracer): spans are resolved from the submitting
+	// process, stamped with device service time, and annotated with
+	// per-LPN GC context when the device can report it.
+	tracer *obs.Tracer
+	prober gcProber
+
 	outstanding int
 	waitq       []func()
 	closed      bool
@@ -250,6 +258,23 @@ func (s *Stack) GCControl() sched.GCControl {
 // Scheduler returns the attached scheduler, or nil.
 func (s *Stack) Scheduler() *sched.Scheduler { return s.sched }
 
+// gcProber is the per-LPN GC-context probe trace annotation uses;
+// ssd.Device implements it by forwarding to the page-mapped FTL.
+type gcProber interface {
+	GCTouch(lpn int64) ftl.GCTouch
+}
+
+// SetTracer enables span tracing on this stack: requests issued
+// through the Sync wrappers inherit the span bound to the calling
+// process (obs.Tracer.Bind), the dispatch→complete device service is
+// stamped on it, and — when the device can report per-LPN GC context —
+// each I/O is annotated with the GC interference it saw. A nil tracer
+// disables tracing.
+func (s *Stack) SetTracer(tr *obs.Tracer) {
+	s.tracer = tr
+	s.prober, _ = s.dev.(gcProber)
+}
+
 // Op identifies the request type.
 type Op int
 
@@ -272,6 +297,10 @@ type Request struct {
 	Tenant *sched.Tenant
 	// Done receives the read payload (for OpRead) and the outcome.
 	Done func(data []byte, err error)
+	// Span, when tracing, is the request's trace span: the stack
+	// stamps scheduler-queue wait and device service time on it. The
+	// Sync wrappers fill it from the calling process's binding.
+	Span *obs.Span
 }
 
 // Submit runs req through the stack from core cpu. Completion costs are
@@ -313,7 +342,7 @@ func (s *Stack) toDevice(cpu int, req Request) {
 		if t == nil {
 			t = s.fallback
 		}
-		if !s.sched.Enqueue(t, s.costOf(req.Op), func() { s.dispatch(cpu, req) }) {
+		if !s.sched.EnqueueSpan(t, s.costOf(req.Op), req.Span, func() { s.dispatch(cpu, req) }) {
 			// Rejected at admission: fail fast rather than queue.
 			if req.Done != nil {
 				req.Done(nil, ErrQueueLimit)
@@ -431,13 +460,42 @@ func (s *Stack) pump() {
 // dispatch issues one request when queue depth allows.
 func (s *Stack) dispatch(cpu int, req Request) {
 	if s.outstanding >= s.cfg.QueueDepth {
-		s.waitq = append(s.waitq, func() { s.dispatch(cpu, req) })
+		gated := s.eng.Now()
+		s.waitq = append(s.waitq, func() {
+			// Depth-gate wait is queueing before the device, same as
+			// scheduler-queue time: bill it to the sched stage.
+			req.Span.Stamp(obs.StageSched, s.eng.Now()-gated)
+			s.dispatch(cpu, req)
+		})
 		return
 	}
 	s.outstanding++
 	issued := s.eng.Now()
+	var pre ftl.GCTouch
+	if req.Span != nil {
+		req.Span.NoteIO()
+		if s.prober != nil && req.Op != OpFlush {
+			pre = s.prober.GCTouch(req.LPN)
+		}
+	}
 	complete := func(data []byte, err error) {
 		s.outstanding--
+		if req.Span != nil {
+			req.Span.Stamp(obs.StageDevice, s.eng.Now()-issued)
+			if s.prober != nil && req.Op != OpFlush {
+				// Bracketing probes: the op interfered with GC if its
+				// chip was collecting on either side of the I/O, and a
+				// floor-hit delta means a forced collection fired in
+				// its shadow.
+				post := s.prober.GCTouch(req.LPN)
+				chip := post.Chip
+				if chip < 0 {
+					chip = pre.Chip
+				}
+				req.Span.NoteGC(chip, pre.Collecting || post.Collecting,
+					pre.Deferred || post.Deferred, post.FloorHits-pre.FloorHits)
+			}
+		}
 		if err == nil {
 			// The span from device issue to completion is the service
 			// time the host can actually observe through the interface —
@@ -486,7 +544,7 @@ func (s *Stack) ReadSyncAs(p *sim.Proc, t *sched.Tenant, cpu int, lpn int64) ([]
 	c := sim.NewCond(p.Engine())
 	var data []byte
 	var rerr error
-	s.Submit(cpu, Request{Op: OpRead, LPN: lpn, Tenant: t, Done: func(d []byte, err error) {
+	s.Submit(cpu, Request{Op: OpRead, LPN: lpn, Tenant: t, Span: s.tracer.At(p), Done: func(d []byte, err error) {
 		data, rerr = d, err
 		c.Fire()
 	}})
@@ -504,7 +562,7 @@ func (s *Stack) WriteSync(p *sim.Proc, cpu int, lpn int64, data []byte) error {
 func (s *Stack) WriteSyncAs(p *sim.Proc, t *sched.Tenant, cpu int, lpn int64, data []byte) error {
 	c := sim.NewCond(p.Engine())
 	var werr error
-	s.Submit(cpu, Request{Op: OpWrite, LPN: lpn, Data: data, Tenant: t, Done: func(_ []byte, err error) {
+	s.Submit(cpu, Request{Op: OpWrite, LPN: lpn, Data: data, Tenant: t, Span: s.tracer.At(p), Done: func(_ []byte, err error) {
 		werr = err
 		c.Fire()
 	}})
@@ -517,7 +575,7 @@ func (s *Stack) WriteSyncAs(p *sim.Proc, t *sched.Tenant, cpu int, lpn int64, da
 func (s *Stack) FlushSync(p *sim.Proc, cpu int) error {
 	c := sim.NewCond(p.Engine())
 	var ferr error
-	s.Submit(cpu, Request{Op: OpFlush, Done: func(_ []byte, err error) {
+	s.Submit(cpu, Request{Op: OpFlush, Span: s.tracer.At(p), Done: func(_ []byte, err error) {
 		ferr = err
 		c.Fire()
 	}})

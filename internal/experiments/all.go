@@ -27,4 +27,5 @@ var All = []Runner{
 	{"E17", E17GCCoordination},
 	{"E18", E18AdaptiveControlPlane},
 	{"E19", E19ReplicatedPlacement},
+	{"E20", E20Observability},
 }

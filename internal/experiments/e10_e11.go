@@ -150,6 +150,12 @@ func E10CommitLatency(scale Scale) (*Result, error) {
 	res.Finding = fmt.Sprintf(
 		"PCM-logged commits are %.0fx faster at 1 client (p50 %.1fµs vs %.0fµs) and %.0fx at 8 clients",
 		consP50[0]/progP50[0], progP50[0]/1e3, consP50[0]/1e3, consP50[1]/progP50[1])
+	res.Headline = map[string]float64{
+		"speedup_1client_x":      consP50[0] / progP50[0],
+		"speedup_8clients_x":     consP50[1] / progP50[1],
+		"progressive_p50_1c_us":  progP50[0] / 1e3,
+		"conservative_p50_1c_us": consP50[0] / 1e3,
+	}
 	return res, nil
 }
 
@@ -337,5 +343,12 @@ func E11Codesign(scale Scale) (*Result, error) {
 	res.Finding = fmt.Sprintf(
 		"liveness communication cuts WA from %.2f to %.2f (GC moves %d -> %d); atomic meta flip makes checkpoints %.1fx faster",
 		waBlind, waInformed, movesBlind, movesInformed, float64(cpDouble)/float64(cpAtomic))
+	res.Headline = map[string]float64{
+		"wa_blind":             waBlind,
+		"wa_informed":          waInformed,
+		"gc_moves_blind":       float64(movesBlind),
+		"gc_moves_informed":    float64(movesInformed),
+		"checkpoint_speedup_x": float64(cpDouble) / float64(cpAtomic),
+	}
 	return res, nil
 }

@@ -60,7 +60,7 @@ func E12StackOverhead(scale Scale) (*Result, error) {
 		return float64(done) / horizon.Seconds(), nil
 	}
 
-	var sq8, direct8 float64
+	var sq8, mq8, direct8 float64
 	for _, threads := range []int{1, 4, 16, 32} {
 		sq, err := run(blockdev.SingleQueue, threads)
 		if err != nil {
@@ -77,13 +77,20 @@ func E12StackOverhead(scale Scale) (*Result, error) {
 		t.AddRow(threads, fmt.Sprintf("%.0f", sq), fmt.Sprintf("%.0f", mq), fmt.Sprintf("%.0f", di),
 			fmt.Sprintf("%.2fx", mq/sq), fmt.Sprintf("%.2fx", di/sq))
 		if threads == 32 {
-			sq8, direct8 = sq, di
+			sq8, mq8, direct8 = sq, mq, di
 		}
 	}
 	res.Tables = append(res.Tables, t)
 	res.Finding = fmt.Sprintf(
 		"at 32 threads the direct path delivers %.1fx the single-queue IOPS (%.0f vs %.0f) on the same device",
 		direct8/sq8, direct8, sq8)
+	res.Headline = map[string]float64{
+		"sq_iops_32t":      sq8,
+		"mq_iops_32t":      mq8,
+		"direct_iops_32t":  direct8,
+		"direct_vs_sq_32t": direct8 / sq8,
+		"mq_vs_sq_32t":     mq8 / sq8,
+	}
 	return res, nil
 }
 
@@ -149,6 +156,12 @@ func E13PCMSSD(scale Scale) (*Result, error) {
 	res.Finding = fmt.Sprintf(
 		"a PCM SSD write (p50 %.1fµs) is %.0fx slower than a memory-bus persist (p50 %.2fµs) for the same logical update — the interface, not the medium, dominates",
 		float64(ssdLat.P50())/1e3, float64(ssdLat.P50())/float64(busLat.P50()), float64(busLat.P50())/1e3)
+	res.Headline = map[string]float64{
+		"bus_persist_p50_us":  float64(busLat.P50()) / 1e3,
+		"pcm_ssd_p50_us":      float64(ssdLat.P50()) / 1e3,
+		"flash_ssd_p50_us":    float64(flashLat.P50()) / 1e3,
+		"ssd_vs_bus_slowdown": float64(ssdLat.P50()) / float64(busLat.P50()),
+	}
 	return res, nil
 }
 
@@ -164,6 +177,7 @@ func E14UFLIP(scale Scale) (*Result, error) {
 	t := metrics.NewTable("uFLIP: IOPS by device and pattern (4K, QD8)",
 		"device", "SR", "RR", "SW", "RW")
 	devices := []ssd.Preset{ssd.Consumer2008, ssd.Enterprise2012, ssd.DFTL2012, ssd.PCM2012}
+	grid := map[string]float64{} // "<device>/<pattern>" → IOPS
 	for _, preset := range devices {
 		row := []interface{}{preset.String()}
 		for _, pattern := range workload.Patterns {
@@ -186,11 +200,23 @@ func E14UFLIP(scale Scale) (*Result, error) {
 				return a.Kind == workload.Write, a.LPN
 			})
 			iops := float64(n) / elapsed.Seconds()
+			grid[preset.String()+"/"+pattern.String()] = iops
 			row = append(row, fmt.Sprintf("%.0f", iops))
 		}
 		t.AddRow(row...)
 	}
 	res.Tables = append(res.Tables, t)
 	res.Finding = "the pattern matrix separates generations: the 2008 device collapses on RW; the 2012 device does not; PCM is flat across patterns"
+	collapse := func(dev string) float64 {
+		if grid[dev+"/RW"] == 0 {
+			return 0
+		}
+		return grid[dev+"/SW"] / grid[dev+"/RW"]
+	}
+	res.Headline = map[string]float64{
+		"consumer2008_sw_over_rw":   collapse(ssd.Consumer2008.String()),
+		"enterprise2012_sw_over_rw": collapse(ssd.Enterprise2012.String()),
+		"pcm2012_sw_over_rw":        collapse(ssd.PCM2012.String()),
+	}
 	return res, nil
 }

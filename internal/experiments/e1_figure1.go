@@ -102,6 +102,14 @@ func E1Figure1(scale Scale) (*Result, error) {
 	res.Finding = fmt.Sprintf(
 		"reads: channel util %.0f%% > chip util %.0f%% (channel-bound); writes: chip util %.0f%% > channel util %.0f%% (chip-bound)",
 		readChanU*100, readChipU*100, writeChipU*100, writeChanU*100)
+	res.Headline = map[string]float64{
+		"read_makespan_us":  readSpan.Micros(),
+		"write_makespan_us": writeSpan.Micros(),
+		"read_chan_util":    readChanU,
+		"read_chip_util":    readChipU,
+		"write_chan_util":   writeChanU,
+		"write_chip_util":   writeChipU,
+	}
 	_ = scale
 	return res, nil
 }

@@ -63,6 +63,12 @@ func E2GCInterference(scale Scale) (*Result, error) {
 	res.Tables = append(res.Tables, t)
 	res.Finding = fmt.Sprintf("read p99 %.0fµs idle -> %.0fµs with GC running (max %.1fms, stalled behind erases)",
 		float64(idle.P99())/1e3, float64(busy.P99())/1e3, float64(busy.Max())/1e6)
+	res.Headline = map[string]float64{
+		"idle_read_p99_us": float64(idle.P99()) / 1e3,
+		"busy_read_p99_us": float64(busy.P99()) / 1e3,
+		"busy_read_max_ms": float64(busy.Max()) / 1e6,
+		"gc_erases":        float64(gcErases),
+	}
 	return res, nil
 }
 
@@ -137,6 +143,17 @@ func E3ChipVsSSD(scale Scale) (*Result, error) {
 	res.Finding = fmt.Sprintf(
 		"chip ops are constants (read always %.0fµs); device ops spread %s for reads and %s for writes under load",
 		float64(chipRead.Max())/1e3, ratio(&m.ReadLat), ratio(&m.WriteLat))
+	spread := func(h *metrics.Histogram) float64 {
+		if h.Min() == 0 {
+			return 0
+		}
+		return float64(h.Max()) / float64(h.Min())
+	}
+	res.Headline = map[string]float64{
+		"chip_read_us":       float64(chipRead.Max()) / 1e3,
+		"ssd_read_spread_x":  spread(&m.ReadLat),
+		"ssd_write_spread_x": spread(&m.WriteLat),
+	}
 	return res, nil
 }
 
@@ -210,6 +227,11 @@ func E4Bimodal(scale Scale) (*Result, error) {
 	res.Finding = fmt.Sprintf(
 		"on the colliding pattern, host-pinned placement is %.1fx slower than device scheduling (all programs on one chip)",
 		float64(worst)/float64(best))
+	res.Headline = map[string]float64{
+		"static_vs_dynamic_slowdown_x": float64(worst) / float64(best),
+		"static_colliding_ms":          worst.Millis(),
+		"dynamic_colliding_ms":         best.Millis(),
+	}
 	return res, nil
 }
 

@@ -71,6 +71,10 @@ func E5RandVsSeqWrites(scale Scale) (*Result, error) {
 	res.Finding = fmt.Sprintf(
 		"random writes are %.0fx slower than sequential on the 2008 hybrid-FTL device, but only %.1fx on the 2012 page-mapped buffered device",
 		consumerRatio, enterpriseRatio)
+	res.Headline = map[string]float64{
+		"consumer2008_rand_slowdown_x":   consumerRatio,
+		"enterprise2012_rand_slowdown_x": enterpriseRatio,
+	}
 	return res, nil
 }
 
@@ -140,5 +144,9 @@ func E6WriteAmplification(scale Scale) (*Result, error) {
 	res.Tables = append(res.Tables, t)
 	res.Finding = fmt.Sprintf("at 12%% OP (greedy GC), sequential overwrite WA = %.2f but uniform random WA = %.2f — the FTL cannot see locality in random streams",
 		seqWA, randWA)
+	res.Headline = map[string]float64{
+		"seq_wa":  seqWA,
+		"rand_wa": randWA,
+	}
 	return res, nil
 }

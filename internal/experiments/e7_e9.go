@@ -51,6 +51,12 @@ func E7ReadTailLatency(scale Scale) (*Result, error) {
 	res.Finding = fmt.Sprintf(
 		"chip-level reads are %.0fµs, yet device read p99 = %.0fµs and max = %.2fms (erase stalls), while buffered write p99 = %.0fµs — reads are the expensive op",
 		chipRead, float64(m.ReadLat.P99())/1e3, float64(m.ReadLat.Max())/1e6, float64(m.WriteLat.P99())/1e3)
+	res.Headline = map[string]float64{
+		"chip_read_us": chipRead,
+		"read_p99_us":  float64(m.ReadLat.P99()) / 1e3,
+		"read_max_ms":  float64(m.ReadLat.Max()) / 1e6,
+		"write_p99_us": float64(m.WriteLat.P99()) / 1e3,
+	}
 	return res, nil
 }
 
@@ -120,6 +126,13 @@ func E8ReadVsWriteParallelism(scale Scale) (*Result, error) {
 	res.Finding = fmt.Sprintf(
 		"reads collapse %.1fx when their data sits on one LUN (%.1f -> %.1f MB/s); write bandwidth is pattern-independent (%.1f vs %.1f MB/s) because the scheduler can redirect writes but never reads",
 		scatteredReads/collidedReads, scatteredReads, collidedReads, seqWrites, collidedWrites)
+	res.Headline = map[string]float64{
+		"read_collapse_x":      scatteredReads / collidedReads,
+		"scattered_reads_mbps": scatteredReads,
+		"collided_reads_mbps":  collidedReads,
+		"seq_writes_mbps":      seqWrites,
+		"collided_writes_mbps": collidedWrites,
+	}
 	return res, nil
 }
 
@@ -220,5 +233,11 @@ func E9ChannelChipScaling(scale Scale) (*Result, error) {
 	res.Finding = fmt.Sprintf(
 		"4x channels: reads x%.1f, writes x%.1f; 4x chips on one channel: reads x%.1f, writes x%.1f — reads need channels, writes need chips",
 		readChanScale, writeChanScale, readChipScale, writeChipScale)
+	res.Headline = map[string]float64{
+		"read_chan_scale_x":  readChanScale,
+		"read_chip_scale_x":  readChipScale,
+		"write_chan_scale_x": writeChanScale,
+		"write_chip_scale_x": writeChipScale,
+	}
 	return res, nil
 }

@@ -47,6 +47,11 @@ type Result struct {
 	// bench trajectory can be captured per run without screen-scraping
 	// tables. Experiments fill what they headline; nil is fine.
 	Headline map[string]float64
+	// Obs is the experiment's merged telemetry snapshot (an
+	// obs.Registry export), when the experiment runs a traced fabric
+	// and captures one; cmd/deathbench -obs writes these per
+	// experiment. Nil when the experiment keeps no registry.
+	Obs map[string]any
 }
 
 // String renders the result for terminal output.

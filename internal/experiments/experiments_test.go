@@ -287,8 +287,8 @@ func TestE14MatrixSeparatesGenerations(t *testing.T) {
 }
 
 func TestAllRunnersListed(t *testing.T) {
-	if len(All) != 19 {
-		t.Fatalf("All has %d runners, want 19", len(All))
+	if len(All) != 20 {
+		t.Fatalf("All has %d runners, want 20", len(All))
 	}
 	seen := map[string]bool{}
 	for _, r := range All {
@@ -298,6 +298,78 @@ func TestAllRunnersListed(t *testing.T) {
 		seen[r.ID] = true
 		if r.Run == nil {
 			t.Fatalf("runner %s has no function", r.ID)
+		}
+	}
+}
+
+// TestEveryExperimentHeadlines runs the whole index at quick scale and
+// requires each runner to return machine-readable headline metrics with
+// finite values — the contract deathbench -json captures per run.
+func TestEveryExperimentHeadlines(t *testing.T) {
+	for _, r := range All {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			t.Parallel()
+			res, err := r.Run(Quick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Headline) == 0 {
+				t.Fatalf("%s returned no headline metrics", r.ID)
+			}
+			for k, v := range res.Headline {
+				if v != v || v > 1e18 || v < -1e18 {
+					t.Errorf("%s headline %q = %v is not a finite number", r.ID, k, v)
+				}
+			}
+			if res.Finding == "" {
+				t.Errorf("%s returned no finding", r.ID)
+			}
+		})
+	}
+}
+
+func TestE20SpanAccountingCloses(t *testing.T) {
+	r, err := E20Observability(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The acceptance bar: span-measured latency matches client-measured
+	// latency within 5% at p50 and p99 on every stack×shard
+	// configuration, with no leaked or over-counted spans, and tracing
+	// overhead below 3%.
+	if got := r.Headline["closure_err_p50_max_pct"]; got > 5 {
+		t.Errorf("worst p50 closure error %.2f%% exceeds 5%%", got)
+	}
+	if got := r.Headline["closure_err_p99_max_pct"]; got > 5 {
+		t.Errorf("worst p99 closure error %.2f%% exceeds 5%%", got)
+	}
+	if got := r.Headline["span_leaks"]; got != 0 {
+		t.Errorf("%v spans leaked open", got)
+	}
+	if got := r.Headline["span_overruns"]; got != 0 {
+		t.Errorf("%v spans over-counted their life", got)
+	}
+	if got := r.Headline["overhead_pct_max"]; got > 3 {
+		t.Errorf("tracing overhead %.2f%% exceeds 3%%", got)
+	}
+	if len(r.Tables) != 3 {
+		t.Fatalf("tables = %d, want attribution + breakdown + overhead", len(r.Tables))
+	}
+	if rows := r.Tables[0].Rows(); rows != 9 {
+		t.Fatalf("attribution rows = %d, want 3 stacks x 3 shard counts", rows)
+	}
+	// The stage shares of the showcase p99 must be real percentages.
+	if got := r.Headline["mq16_sched_share_pct"] + r.Headline["mq16_device_share_pct"]; got <= 0 || got > 100 {
+		t.Errorf("sched+device share of span time = %v%%, want in (0, 100]", got)
+	}
+	// The unified registry snapshot rides along for deathbench -obs.
+	if r.Obs == nil {
+		t.Fatal("E20 returned no registry snapshot")
+	}
+	for _, src := range []string{"shard_stats", "shard_latencies", "gc_coord", "trace"} {
+		if _, ok := r.Obs[src]; !ok {
+			t.Errorf("registry snapshot missing source %q", src)
 		}
 	}
 }

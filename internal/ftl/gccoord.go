@@ -161,3 +161,33 @@ func (f *PageFTL) gcStopWater(chip int) int {
 	}
 	return f.cfg.GCHighWater
 }
+
+// GCTouch is a point-in-time probe of the GC state relevant to one
+// logical page: which chip currently holds it, whether that chip is
+// collecting right now, whether a host defer lease is active, and the
+// cumulative forced-collection counter (so a caller bracketing an I/O
+// can detect a forced GC firing in its shadow). The observability
+// layer (package obs, via blockdev) uses it to annotate trace spans.
+type GCTouch struct {
+	Chip       int   `json:"chip"`
+	Collecting bool  `json:"collecting"`
+	Deferred   bool  `json:"deferred"`
+	FloorHits  int64 `json:"floor_hits"`
+}
+
+// GCTouch probes the GC context of lpn. For an unmapped or
+// out-of-range lpn the chip is -1 and Collecting reports whether any
+// chip is collecting (a write's destination chip is not yet known).
+func (f *PageFTL) GCTouch(lpn int64) GCTouch {
+	t := GCTouch{Chip: -1, Deferred: f.GCDeferred(), FloorHits: f.coord.FloorHits}
+	if lpn >= 0 && lpn < int64(len(f.mapping)) {
+		if ppa := f.mapping[lpn]; ppa != InvalidPPA {
+			c := f.arr.ChipOf(ppa)
+			t.Chip = c
+			t.Collecting = f.chips[c].gcActive
+			return t
+		}
+	}
+	t.Collecting = f.gcBusy > 0
+	return t
+}

@@ -1,0 +1,734 @@
+// Package obs is the observability spine of the serving stack: a
+// per-request trace span threaded from the frontend through admission,
+// the multi-tenant scheduler, the OS block layer and the device, so
+// every nanosecond of a request's life is attributed to a stage and
+// any tail-latency number can be explained rather than guessed at.
+//
+// The paper's core complaint is that the block interface hides where
+// time goes — a GC strike looks like random device slowness. Owning
+// every layer lets us do the opposite: serve.Frontend opens a Span,
+// serve.Shard stamps the admission-queue wait, sched stamps DRR queue
+// wait (plus tokens-blocked and GC-deferral overlays), blockdev stamps
+// dispatch→complete device service, and the FTL annotates GC
+// interference (did the op land on a collecting chip? under an active
+// defer lease? did a forced collection fire in its shadow?).
+//
+// Stages are exclusive: frontend routing, admission queue, scheduler
+// queue and device service are measured directly; the serve stage
+// (shard CPU + storage-engine work between I/Os) is the closing
+// remainder, so per-span accounting always sums to the end-to-end
+// latency. Tokens-blocked and GC-deferred time overlap the scheduler
+// stage and are kept as overlays, outside the closure sum.
+//
+// A Tracer aggregates closed spans per class × stage into
+// metrics.Histogram machinery and keeps a bounded flight recorder —
+// the slowest-N complete spans per class — so a p99 can be unpacked
+// into "71% sched queue, 22% device service on a collecting chip".
+// All methods are nil-safe: with tracing off every hook is a nil check.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Stage identifies one exclusive segment of a request's life.
+type Stage int
+
+const (
+	// StageFrontend is routing: span open to shard-queue arrival.
+	StageFrontend Stage = iota
+	// StageAdmission is the shard admission-queue wait: arrival to
+	// worker dequeue.
+	StageAdmission
+	// StageSched is scheduler queue wait: DRR enqueue to dispatch,
+	// summed over every I/O the request issued (includes any
+	// queue-depth gating in the block layer).
+	StageSched
+	// StageDevice is device service: dispatch to completion, summed
+	// over every I/O the request issued.
+	StageDevice
+	// StageServe is the closing remainder: shard CPU and
+	// storage-engine work between I/Os, computed at span close as
+	// end-to-end minus the measured stages.
+	StageServe
+	// NumStages bounds per-stage arrays.
+	NumStages
+)
+
+var stageNames = [NumStages]string{"frontend", "admission", "sched", "device", "serve"}
+
+// String names the stage.
+func (s Stage) String() string {
+	if s < 0 || s >= NumStages {
+		return "unknown"
+	}
+	return stageNames[s]
+}
+
+// Span is one request's trace: stage durations, overlay waits and GC
+// annotations, stamped in place by each layer as the request passes.
+// Every method is safe on a nil receiver (tracing disabled) and safe
+// to call from concurrent goroutines.
+type Span struct {
+	tr    *Tracer
+	class string
+	op    string
+
+	start, end sim.Time
+	stages     [NumStages]sim.Time
+
+	// Overlays: waits that overlap StageSched rather than extending
+	// the closure sum.
+	tokensBlocked sim.Time
+	gcDeferred    sim.Time
+
+	// GC interference annotations.
+	gcChip       int
+	gcCollisions int
+	gcLeaseHits  int
+	gcForced     int64
+	steered      int
+	avoidedGC    int
+
+	ios    int
+	closed bool
+}
+
+// SpanRecord is an immutable copy of a closed span, kept by the flight
+// recorder and exported in snapshots.
+type SpanRecord struct {
+	Class         string              `json:"class"`
+	Op            string              `json:"op"`
+	Start         sim.Time            `json:"start_ns"`
+	Total         sim.Time            `json:"total_ns"`
+	Stages        [NumStages]sim.Time `json:"stages_ns"`
+	TokensBlocked sim.Time            `json:"tokens_blocked_ns"`
+	GCDeferred    sim.Time            `json:"gc_deferred_ns"`
+	GCChip        int                 `json:"gc_chip"`
+	GCCollisions  int                 `json:"gc_collisions"`
+	GCLeaseHits   int                 `json:"gc_lease_hits"`
+	GCForced      int64               `json:"gc_forced"`
+	Steered       int                 `json:"steered"`
+	AvoidedGC     int                 `json:"avoided_gc"`
+	IOs           int                 `json:"ios"`
+}
+
+// StagePct is the named stage's share of the record's total, in
+// percent.
+func (r SpanRecord) StagePct(s Stage) float64 {
+	if r.Total <= 0 {
+		return 0
+	}
+	return 100 * float64(r.Stages[s]) / float64(r.Total)
+}
+
+// Explain renders the record as a one-line attribution, e.g.
+// "812.4us get: 71% sched, 22% device (chip 3 collecting), 5% admission".
+func (r SpanRecord) Explain() string {
+	type part struct {
+		s   Stage
+		pct float64
+	}
+	parts := make([]part, 0, NumStages)
+	for s := Stage(0); s < NumStages; s++ {
+		if pct := r.StagePct(s); pct >= 0.5 {
+			parts = append(parts, part{s, pct})
+		}
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].pct > parts[j].pct })
+	out := fmt.Sprintf("%.1fus %s %s:", float64(r.Total)/1e3, r.Class, r.Op)
+	for i, p := range parts {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf(" %.0f%% %s", p.pct, p.s)
+		if p.s == StageDevice && r.GCCollisions > 0 {
+			out += fmt.Sprintf(" (chip %d collecting", r.GCChip)
+			if r.GCLeaseHits > 0 {
+				out += ", lease active"
+			}
+			if r.GCForced > 0 {
+				out += ", forced GC"
+			}
+			out += ")"
+		}
+		if p.s == StageSched && r.TokensBlocked > 0 {
+			out += fmt.Sprintf(" (%.1fus tokens-blocked)", float64(r.TokensBlocked)/1e3)
+		}
+	}
+	return out
+}
+
+// Stamp adds d to the stage's accumulated duration. Negative stamps
+// are dropped.
+func (s *Span) Stamp(st Stage, d sim.Time) {
+	if s == nil || d <= 0 || st < 0 || st >= NumStages {
+		return
+	}
+	s.tr.mu.Lock()
+	s.stages[st] += d
+	s.tr.mu.Unlock()
+}
+
+// MarkArrived stamps the frontend stage: span open to shard-queue
+// arrival. First arrival wins (quorum writes carry the span on one
+// replica only).
+func (s *Span) MarkArrived(at sim.Time) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if s.stages[StageFrontend] == 0 && at > s.start {
+		s.stages[StageFrontend] = at - s.start
+	}
+	s.tr.mu.Unlock()
+}
+
+// NoteIO counts one device I/O issued on the span's behalf.
+func (s *Span) NoteIO() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.ios++
+	s.tr.mu.Unlock()
+}
+
+// NoteTokensBlocked adds overlay time the request's tenant spent
+// blocked on rate-cap tokens while this request headed the queue.
+func (s *Span) NoteTokensBlocked(d sim.Time) {
+	if s == nil || d <= 0 {
+		return
+	}
+	s.tr.mu.Lock()
+	s.tokensBlocked += d
+	s.tr.mu.Unlock()
+}
+
+// NoteGCDeferred adds overlay time the request spent parked by the
+// GC-aware deferral policy.
+func (s *Span) NoteGCDeferred(d sim.Time) {
+	if s == nil || d <= 0 {
+		return
+	}
+	s.tr.mu.Lock()
+	s.gcDeferred += d
+	s.tr.mu.Unlock()
+}
+
+// NoteGC annotates one I/O's GC context: the chip it touched, whether
+// that chip was collecting, whether a host defer lease was active, and
+// how many forced collections (defer-floor hits) fired in its shadow.
+func (s *Span) NoteGC(chip int, collecting, lease bool, forced int64) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if collecting {
+		s.gcCollisions++
+		s.gcChip = chip
+	}
+	if lease {
+		s.gcLeaseHits++
+	}
+	if forced > 0 {
+		s.gcForced += forced
+	}
+	s.tr.mu.Unlock()
+}
+
+// NoteSteered annotates a read routed by live device signals to a
+// replica the round-robin cursor would not have picked; avoided
+// marks the subset that dodged a collecting device.
+func (s *Span) NoteSteered(avoided bool) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.steered++
+	if avoided {
+		s.avoidedGC++
+	}
+	s.tr.mu.Unlock()
+}
+
+// Close seals the span at time at: the serve stage becomes the
+// remainder (end-to-end minus measured stages), and the span is folded
+// into the tracer's aggregates and flight recorder. Spans closed with
+// a non-nil error are counted but not aggregated (they are not latency
+// samples). Closing twice is a no-op.
+func (s *Span) Close(at sim.Time, err error) {
+	if s == nil {
+		return
+	}
+	tr := s.tr
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.end = at
+	total := s.end - s.start
+	if total < 0 {
+		total = 0
+	}
+	var measured sim.Time
+	for st := Stage(0); st < NumStages; st++ {
+		if st != StageServe {
+			measured += s.stages[st]
+		}
+	}
+	if measured > total {
+		// Stages over-count the request's life — double-stamped
+		// somewhere. Surface it instead of hiding it in the remainder.
+		tr.overruns++
+		s.stages[StageServe] = 0
+	} else {
+		s.stages[StageServe] = total - measured
+	}
+	tr.closed++
+	if err != nil {
+		tr.errored++
+		return
+	}
+	agg := tr.agg(s.class)
+	agg.total.Record(int64(total))
+	for st := Stage(0); st < NumStages; st++ {
+		agg.stages[st].Record(int64(s.stages[st]))
+	}
+	agg.tokensBlocked.Record(int64(s.tokensBlocked))
+	agg.gcDeferred.Record(int64(s.gcDeferred))
+	agg.gcCollisions += int64(s.gcCollisions)
+	agg.gcLeaseHits += int64(s.gcLeaseHits)
+	agg.gcForced += s.gcForced
+	agg.steered += int64(s.steered)
+	agg.avoidedGC += int64(s.avoidedGC)
+	agg.ios += int64(s.ios)
+	agg.offer(s.record(total))
+}
+
+// record builds the immutable copy; caller holds tr.mu.
+func (s *Span) record(total sim.Time) SpanRecord {
+	return SpanRecord{
+		Class:         s.class,
+		Op:            s.op,
+		Start:         s.start,
+		Total:         total,
+		Stages:        s.stages,
+		TokensBlocked: s.tokensBlocked,
+		GCDeferred:    s.gcDeferred,
+		GCChip:        s.gcChip,
+		GCCollisions:  s.gcCollisions,
+		GCLeaseHits:   s.gcLeaseHits,
+		GCForced:      s.gcForced,
+		Steered:       s.steered,
+		AvoidedGC:     s.avoidedGC,
+		IOs:           s.ios,
+	}
+}
+
+// classAgg is one class's per-stage aggregates plus its flight
+// recorder ring (slowest-N closed spans, descending by total).
+type classAgg struct {
+	total         metrics.Histogram
+	stages        [NumStages]metrics.Histogram
+	tokensBlocked metrics.Histogram
+	gcDeferred    metrics.Histogram
+
+	gcCollisions int64
+	gcLeaseHits  int64
+	gcForced     int64
+	steered      int64
+	avoidedGC    int64
+	ios          int64
+
+	keep int
+	ring []SpanRecord
+}
+
+// offer inserts rec into the ring if it ranks among the slowest keep
+// spans, evicting the fastest resident.
+func (a *classAgg) offer(rec SpanRecord) {
+	if a.keep <= 0 {
+		return
+	}
+	if len(a.ring) < a.keep {
+		a.ring = append(a.ring, rec)
+	} else if rec.Total > a.ring[len(a.ring)-1].Total {
+		a.ring[len(a.ring)-1] = rec
+	} else {
+		return
+	}
+	sort.SliceStable(a.ring, func(i, j int) bool { return a.ring[i].Total > a.ring[j].Total })
+}
+
+// Tracer opens spans, aggregates closed ones per class × stage, and
+// binds in-flight spans to the simulated worker process executing
+// them so lower layers can find the active span without threading it
+// through every call. A nil *Tracer is a valid disabled tracer.
+type Tracer struct {
+	mu   sync.Mutex
+	keep int
+
+	order   []string
+	classes map[string]*classAgg
+	procs   map[*sim.Proc]*Span
+
+	opened   int64
+	closed   int64
+	errored  int64
+	overruns int64
+}
+
+// NewTracer returns a tracer whose flight recorder keeps the slowest
+// keep spans per class (0 means 8).
+func NewTracer(keep int) *Tracer {
+	if keep <= 0 {
+		keep = 8
+	}
+	return &Tracer{
+		keep:    keep,
+		classes: make(map[string]*classAgg),
+		procs:   make(map[*sim.Proc]*Span),
+	}
+}
+
+// Enabled reports whether tracing is on (the tracer is non-nil).
+func (tr *Tracer) Enabled() bool { return tr != nil }
+
+// agg returns the class aggregate, creating it; caller holds tr.mu.
+func (tr *Tracer) agg(class string) *classAgg {
+	a, ok := tr.classes[class]
+	if !ok {
+		a = &classAgg{keep: tr.keep}
+		tr.classes[class] = a
+		tr.order = append(tr.order, class)
+	}
+	return a
+}
+
+// Open starts a span for one request at time at. Returns nil on a nil
+// tracer, so callers thread the result unconditionally.
+func (tr *Tracer) Open(class, op string, at sim.Time) *Span {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	tr.opened++
+	tr.mu.Unlock()
+	return &Span{tr: tr, class: class, op: op, start: at, gcChip: -1}
+}
+
+// Bind associates the span with the simulated process executing its
+// request, for the duration of the shard's execute phase.
+func (tr *Tracer) Bind(p *sim.Proc, s *Span) {
+	if tr == nil || p == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.procs[p] = s
+	tr.mu.Unlock()
+}
+
+// Unbind clears the process's span binding.
+func (tr *Tracer) Unbind(p *sim.Proc) {
+	if tr == nil || p == nil {
+		return
+	}
+	tr.mu.Lock()
+	delete(tr.procs, p)
+	tr.mu.Unlock()
+}
+
+// At returns the span bound to the process, or nil.
+func (tr *Tracer) At(p *sim.Proc) *Span {
+	if tr == nil || p == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	s := tr.procs[p]
+	tr.mu.Unlock()
+	return s
+}
+
+// Opened counts spans opened; Closed counts spans closed; Errored
+// counts spans closed with an error; Overruns counts spans whose
+// measured stages exceeded their end-to-end time (should be zero).
+func (tr *Tracer) Opened() int64 {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.opened
+}
+
+// Closed counts spans closed (with or without error).
+func (tr *Tracer) Closed() int64 {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.closed
+}
+
+// Errored counts spans closed with a non-nil error.
+func (tr *Tracer) Errored() int64 {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.errored
+}
+
+// Overruns counts closure violations (measured stages > end-to-end).
+func (tr *Tracer) Overruns() int64 {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.overruns
+}
+
+// Classes lists traced classes in first-seen order.
+func (tr *Tracer) Classes() []string {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]string, len(tr.order))
+	copy(out, tr.order)
+	return out
+}
+
+// TotalHist returns the class's end-to-end latency histogram (nil if
+// the class has no closed spans).
+func (tr *Tracer) TotalHist(class string) *metrics.Histogram {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	a, ok := tr.classes[class]
+	if !ok {
+		return nil
+	}
+	return &a.total
+}
+
+// StageHist returns the class's histogram for one stage (nil if the
+// class has no closed spans).
+func (tr *Tracer) StageHist(class string, st Stage) *metrics.Histogram {
+	if tr == nil || st < 0 || st >= NumStages {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	a, ok := tr.classes[class]
+	if !ok {
+		return nil
+	}
+	return &a.stages[st]
+}
+
+// Slowest returns the class's flight-recorder contents, slowest first.
+func (tr *Tracer) Slowest(class string) []SpanRecord {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	a, ok := tr.classes[class]
+	if !ok {
+		return nil
+	}
+	out := make([]SpanRecord, len(a.ring))
+	copy(out, a.ring)
+	return out
+}
+
+// AtQuantile returns the flight-recorder span whose total is nearest
+// the class's q-quantile end-to-end latency — the concrete request
+// that explains a p99 number.
+func (tr *Tracer) AtQuantile(class string, q float64) (SpanRecord, bool) {
+	if tr == nil {
+		return SpanRecord{}, false
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	a, ok := tr.classes[class]
+	if !ok || len(a.ring) == 0 {
+		return SpanRecord{}, false
+	}
+	target := a.total.Quantile(q)
+	best := a.ring[0]
+	bestDiff := diff64(int64(best.Total), target)
+	for _, rec := range a.ring[1:] {
+		if d := diff64(int64(rec.Total), target); d < bestDiff {
+			best, bestDiff = rec, d
+		}
+	}
+	return best, true
+}
+
+func diff64(a, b int64) int64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// Explain renders the class's near-p99 flight-recorder span as a
+// one-line stage attribution, or "" with no data.
+func (tr *Tracer) Explain(class string) string {
+	rec, ok := tr.AtQuantile(class, 0.99)
+	if !ok {
+		return ""
+	}
+	return "p99 " + rec.Explain()
+}
+
+// BreakdownTable renders the per-class × per-stage aggregate: sample
+// count, mean/p50/p99 in microseconds and each stage's share of the
+// mean end-to-end latency, followed by the overlay rows.
+func (tr *Tracer) BreakdownTable(title string) *metrics.Table {
+	tbl := metrics.NewTable(title, "class", "stage", "count", "mean us", "p50 us", "p99 us", "share %")
+	if tr == nil {
+		return tbl
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for _, class := range tr.order {
+		a := tr.classes[class]
+		totalMean := a.total.Mean()
+		for st := Stage(0); st < NumStages; st++ {
+			h := &a.stages[st]
+			share := 0.0
+			if totalMean > 0 {
+				share = 100 * h.Mean() / totalMean
+			}
+			tbl.AddRow(class, st.String(), h.Count(), h.Mean()/1e3,
+				float64(h.P50())/1e3, float64(h.P99())/1e3, share)
+		}
+		tbl.AddRow(class, "total", a.total.Count(), totalMean/1e3,
+			float64(a.total.P50())/1e3, float64(a.total.P99())/1e3, 100.0)
+	}
+	return tbl
+}
+
+// StageShare returns the stage's share (percent) of the class's mean
+// end-to-end latency.
+func (tr *Tracer) StageShare(class string, st Stage) float64 {
+	if tr == nil || st < 0 || st >= NumStages {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	a, ok := tr.classes[class]
+	if !ok {
+		return 0
+	}
+	totalMean := a.total.Mean()
+	if totalMean <= 0 {
+		return 0
+	}
+	return 100 * a.stages[st].Mean() / totalMean
+}
+
+// Reset clears aggregates, rings and counters but keeps proc bindings
+// (in-flight requests keep tracing into the fresh aggregates).
+func (tr *Tracer) Reset() {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.order = nil
+	tr.classes = make(map[string]*classAgg)
+	tr.opened, tr.closed, tr.errored, tr.overruns = 0, 0, 0, 0
+}
+
+// StageTrace is one stage's aggregate in a snapshot.
+type StageTrace struct {
+	Stage    string      `json:"stage"`
+	Hist     HistSummary `json:"latency"`
+	SharePct float64     `json:"share_pct"`
+}
+
+// ClassTrace is one class's aggregate in a snapshot.
+type ClassTrace struct {
+	Class         string       `json:"class"`
+	Total         HistSummary  `json:"total"`
+	Stages        []StageTrace `json:"stages"`
+	TokensBlocked HistSummary  `json:"tokens_blocked"`
+	GCDeferred    HistSummary  `json:"gc_deferred"`
+	GCCollisions  int64        `json:"gc_collisions"`
+	GCLeaseHits   int64        `json:"gc_lease_hits"`
+	GCForced      int64        `json:"gc_forced"`
+	Steered       int64        `json:"steered"`
+	AvoidedGC     int64        `json:"avoided_gc"`
+	IOs           int64        `json:"ios"`
+	Slowest       []SpanRecord `json:"slowest"`
+}
+
+// TraceSnapshot is the tracer's full exportable state.
+type TraceSnapshot struct {
+	Opened   int64        `json:"opened"`
+	Closed   int64        `json:"closed"`
+	Errored  int64        `json:"errored"`
+	Overruns int64        `json:"overruns"`
+	Classes  []ClassTrace `json:"classes"`
+}
+
+// Snapshot exports the tracer's aggregates and flight recorder as a
+// JSON-able document.
+func (tr *Tracer) Snapshot() TraceSnapshot {
+	var snap TraceSnapshot
+	if tr == nil {
+		return snap
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	snap.Opened, snap.Closed = tr.opened, tr.closed
+	snap.Errored, snap.Overruns = tr.errored, tr.overruns
+	for _, class := range tr.order {
+		a := tr.classes[class]
+		ct := ClassTrace{
+			Class:         class,
+			Total:         Summarize(&a.total),
+			TokensBlocked: Summarize(&a.tokensBlocked),
+			GCDeferred:    Summarize(&a.gcDeferred),
+			GCCollisions:  a.gcCollisions,
+			GCLeaseHits:   a.gcLeaseHits,
+			GCForced:      a.gcForced,
+			Steered:       a.steered,
+			AvoidedGC:     a.avoidedGC,
+			IOs:           a.ios,
+		}
+		totalMean := a.total.Mean()
+		for st := Stage(0); st < NumStages; st++ {
+			share := 0.0
+			if totalMean > 0 {
+				share = 100 * a.stages[st].Mean() / totalMean
+			}
+			ct.Stages = append(ct.Stages, StageTrace{
+				Stage:    st.String(),
+				Hist:     Summarize(&a.stages[st]),
+				SharePct: share,
+			})
+		}
+		ct.Slowest = append(ct.Slowest, a.ring...)
+		snap.Classes = append(snap.Classes, ct)
+	}
+	return snap
+}

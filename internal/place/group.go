@@ -70,7 +70,13 @@ func (g *Group) Submit(op serve.Op, done func(error)) {
 		g.submitWrite(op, done)
 		return
 	}
-	g.steer().Submit(op, done)
+	sh, steered, avoided := g.steer()
+	if steered {
+		// Trace annotation: this read was routed by live device
+		// signals, possibly away from a collecting device.
+		op.Span.NoteSteered(avoided)
+	}
+	sh.Submit(op, done)
 }
 
 // steer picks the replica for one read: the device that currently
@@ -78,10 +84,10 @@ func (g *Group) Submit(op serve.Op, done func(error)) {
 // the lowest observed read service time wins; replicas whose devices
 // tie are taken round-robin. The signals are the peer interface's —
 // a block-device fabric has none of them and can only route blind.
-func (g *Group) steer() *serve.Shard {
+func (g *Group) steer() (pick *serve.Shard, steered, avoidedGC bool) {
 	n := len(g.replicas)
 	if n == 1 {
-		return g.replicas[0]
+		return g.replicas[0], false, false
 	}
 	scores := make([]devScore, n)
 	best := 0
@@ -106,15 +112,16 @@ func (g *Group) steer() *serve.Shard {
 		// Every device looks the same: fall back to round-robin so load
 		// still spreads.
 		g.led.TieReads++
-		pick := g.replicas[g.rr%n]
+		pick = g.replicas[g.rr%n]
 		g.rr++
-		return pick
+		return pick, false, false
 	}
 	g.led.SteeredReads++
 	if maxChips > 0 && scores[best].chips < maxChips {
 		g.led.AvoidedGC++
+		avoidedGC = true
 	}
-	return g.replicas[best]
+	return g.replicas[best], true, avoidedGC
 }
 
 // submitWrite runs one write through group admission and, when
@@ -181,8 +188,14 @@ func (g *Group) submitWrite(op serve.Op, done func(error)) {
 			done(werr)
 		}
 	}
-	for _, sh := range g.replicas {
-		sh.Submit(op, settle)
+	for i, sh := range g.replicas {
+		rop := op
+		if i > 0 {
+			// One replica carries the trace span; stamping all of them
+			// would double-count every stage against one request.
+			rop.Span = nil
+		}
+		sh.Submit(rop, settle)
 	}
 }
 

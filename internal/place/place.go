@@ -53,6 +53,9 @@ func New(f *serve.Fabric) (*Placement, error) {
 	for i, g := range pl.groups {
 		pl.targets[i] = g
 	}
+	// The placement's steering/quorum/migration ledger joins the
+	// fabric's unified telemetry snapshot.
+	f.Registry().Attach("place_ledger", func() any { return pl.Ledger() })
 	return pl, nil
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ftl"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -158,6 +159,13 @@ type request struct {
 	deferred   bool     // GC-deferral in effect (counted once)
 	deferredAt sim.Time // when the deferral began
 	dispatch   func()
+
+	// Trace plumbing: the request's span (nil when tracing is off),
+	// and the token-starvation accounting that feeds its
+	// tokens-blocked overlay.
+	span         *obs.Span
+	tokenFrom    sim.Time // when the head last became token-blocked (0 = not blocked)
+	tokenBlocked sim.Time // accumulated token-blocked time
 }
 
 // Tenant is one registered traffic source. Create with
@@ -469,6 +477,13 @@ func (s *Scheduler) GCActiveChips() int { return s.gcChips }
 // admitted: a tenant at its queue limit rejects instead of queueing
 // (dispatch will never run; the caller must fail the request upward).
 func (s *Scheduler) Enqueue(t *Tenant, cost int, dispatch func()) bool {
+	return s.EnqueueSpan(t, cost, nil, dispatch)
+}
+
+// EnqueueSpan is Enqueue carrying a trace span: the scheduler stamps
+// the span's queue-wait stage at dispatch, plus tokens-blocked and
+// GC-deferral overlay time. A nil span traces nothing.
+func (s *Scheduler) EnqueueSpan(t *Tenant, cost int, span *obs.Span, dispatch func()) bool {
 	if cost < 1 {
 		cost = 1
 	}
@@ -479,7 +494,7 @@ func (s *Scheduler) Enqueue(t *Tenant, cost int, dispatch func()) bool {
 		}
 		return false
 	}
-	t.q = append(t.q, request{cost: cost, at: s.eng.Now(), dispatch: dispatch})
+	t.q = append(t.q, request{cost: cost, at: s.eng.Now(), dispatch: dispatch, span: span})
 	t.backlogCost += cost
 	t.Enqueued++
 	s.backlog++
@@ -497,7 +512,14 @@ func (s *Scheduler) eligible(t *Tenant, now sim.Time) bool {
 	// "this many requests per second" regardless of how expensively
 	// each request is billed to the fair-queueing deficit.
 	if t.bucket.Active() && t.bucket.Tokens(now) < 1 {
+		if head.tokenFrom == 0 {
+			head.tokenFrom = now
+		}
 		return false
+	}
+	if head.tokenFrom > 0 {
+		head.tokenBlocked += now - head.tokenFrom
+		head.tokenFrom = 0
 	}
 	if s.cfg.GCAware && s.gcChips > 0 && t.class == Throughput && s.latencyBacklog > 0 {
 		if !head.deferred {
@@ -528,6 +550,13 @@ func (s *Scheduler) pop(t *Tenant, now sim.Time) request {
 	t.bucket.Take()
 	t.Dispatched++
 	t.Wait.Record(int64(now - head.at))
+	if sp := head.span; sp != nil {
+		sp.Stamp(obs.StageSched, now-head.at)
+		sp.NoteTokensBlocked(head.tokenBlocked)
+		if head.deferred {
+			sp.NoteGCDeferred(now - head.deferredAt)
+		}
+	}
 	s.backlog--
 	if t.class == LatencySensitive {
 		s.latencyBacklog--

@@ -110,7 +110,21 @@ func (f *Frontend) ShardFor(key []byte) *Shard {
 }
 
 // Submit routes op to its key's target through admission control.
+// With tracing on, this is where the request's span opens — and the
+// span closes exactly when done fires, so span totals and client
+// latencies measure the same interval.
 func (f *Frontend) Submit(op Op, done func(error)) {
+	if tr := f.fab.tracer; tr != nil && op.Span == nil {
+		sp := tr.Open(op.Class.String(), op.Kind.String(), f.fab.eng.Now())
+		op.Span = sp
+		inner := done
+		done = func(err error) {
+			sp.Close(f.fab.eng.Now(), err)
+			if inner != nil {
+				inner(err)
+			}
+		}
+	}
 	f.TargetFor(op.Key).Submit(op, done)
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/blockdev"
 	"repro/internal/kvstore"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/pcm"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -147,6 +148,15 @@ type Config struct {
 	Store kvstore.Config
 	// Admission is the shard-boundary admission policy.
 	Admission AdmissionConfig
+	// Trace enables per-request span tracing (package obs): the
+	// frontend opens a span per request, every layer stamps its stage,
+	// and the fabric's Tracer aggregates per class × stage breakdowns
+	// plus a slowest-N flight recorder. Off by default: the hot path
+	// then carries only nil checks.
+	Trace bool
+	// TraceKeep bounds the flight recorder (slowest spans kept per
+	// class; 0 = 8).
+	TraceKeep int
 }
 
 // deviceGroup is one flash device with its stack and scheduler.
@@ -166,6 +176,8 @@ type Fabric struct {
 	stats    *metrics.ShardStats
 	shardLat *metrics.TenantLatencies
 	scaler   *Autoscaler
+	tracer   *obs.Tracer
+	registry *obs.Registry
 	stopped  bool
 	crashing bool
 
@@ -257,7 +269,12 @@ func New(p *sim.Proc, eng *sim.Engine, cfg Config) (*Fabric, error) {
 		cfg:      cfg,
 		stats:    metrics.NewShardStats(),
 		shardLat: metrics.NewTenantLatencies(),
+		registry: obs.NewRegistry(),
 	}
+	if cfg.Trace {
+		f.tracer = obs.NewTracer(cfg.TraceKeep)
+	}
+	f.attachRegistrySources()
 
 	// Placement: replica r of logical shard i on device (i+r) mod
 	// Devices. Every device — spares included — is carved into the same
@@ -317,6 +334,7 @@ func New(p *sim.Proc, eng *sim.Engine, cfg Config) (*Fabric, error) {
 			return nil, err
 		}
 		g := &deviceGroup{dev: dev, stack: stack}
+		stack.SetTracer(f.tracer)
 		if cfg.Scheduled {
 			g.sched = sched.New(eng, cfg.Sched)
 			stack.AttachScheduler(g.sched)
@@ -509,11 +527,53 @@ func (f *Fabric) Stats() *metrics.ShardStats { return f.stats }
 // Frontend.Drive).
 func (f *Fabric) ShardLatencies() *metrics.TenantLatencies { return f.shardLat }
 
-// ResetStats clears the per-shard counters and latency sets (after a
-// warmup or preload phase).
+// ResetStats clears the per-shard counters, latency sets and trace
+// aggregates (after a warmup or preload phase).
 func (f *Fabric) ResetStats() {
 	f.stats.Reset()
 	f.shardLat.Reset()
+	f.tracer.Reset()
+}
+
+// Tracer returns the fabric's request tracer, or nil when Config.Trace
+// is off (a nil tracer is valid and inert everywhere it is threaded).
+func (f *Fabric) Tracer() *obs.Tracer { return f.tracer }
+
+// Registry returns the fabric's telemetry registry: the merged,
+// JSON-exportable snapshot of every ledger the stack keeps. The fabric
+// attaches its own sources (shard counters, shard latencies, GC
+// coordination, calibration, trace aggregates); other layers — replica
+// placement, experiments — attach theirs to the same registry.
+func (f *Fabric) Registry() *obs.Registry { return f.registry }
+
+// attachRegistrySources registers the fabric-owned telemetry sources.
+func (f *Fabric) attachRegistrySources() {
+	f.registry.Attach("shard_stats", func() any {
+		out := make(map[string]metrics.ShardCounters, len(f.stats.Shards())+1)
+		for _, name := range f.stats.Shards() {
+			out[name] = *f.stats.Shard(name)
+		}
+		out["total"] = f.stats.Totals()
+		return out
+	})
+	f.registry.Attach("shard_latencies", func() any {
+		return obs.SummarizeTenants(f.shardLat)
+	})
+	f.registry.Attach("gc_coord", func() any { return f.GCCoord() })
+	f.registry.Attach("calibration", func() any {
+		type devCal struct {
+			Device string `json:"device"`
+			Read   int    `json:"read_cost"`
+			Write  int    `json:"write_cost"`
+		}
+		out := make([]devCal, 0, len(f.groups))
+		for _, g := range f.groups {
+			r, w := g.stack.CalibratedCosts()
+			out = append(out, devCal{Device: g.dev.Name(), Read: r, Write: w})
+		}
+		return out
+	})
+	f.registry.Attach("trace", func() any { return f.tracer.Snapshot() })
 }
 
 // Scheduler returns device d's scheduler (nil when unscheduled).

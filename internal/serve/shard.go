@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/kvstore"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -22,6 +23,19 @@ const (
 	OpScan
 )
 
+// String names the kind for trace spans and tables.
+func (k OpKind) String() string {
+	switch k {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpScan:
+		return "scan"
+	}
+	return "op"
+}
+
 // Op is one client request at the serving boundary.
 type Op struct {
 	Kind  OpKind
@@ -32,6 +46,11 @@ type Op struct {
 	// Class selects the deadline the request is held to:
 	// sched.LatencySensitive or sched.Throughput.
 	Class sched.Class
+
+	// Span is the request's trace span (nil when tracing is off). The
+	// frontend opens it; each layer stamps its stage in place. Ops are
+	// passed by value, so the pointer rides every copy.
+	Span *obs.Span
 
 	arrived sim.Time
 	done    func(error)
@@ -212,6 +231,7 @@ func (sh *Shard) Submit(op Op, done func(error)) {
 	}
 	sh.stats.Admitted++
 	op.arrived = sh.fab.eng.Now()
+	op.Span.MarkArrived(op.arrived)
 	op.done = done
 	sh.queue = append(sh.queue, &op)
 	if n := len(sh.queue); n > sh.stats.MaxQueue {
@@ -358,9 +378,19 @@ func (sh *Shard) worker(p *sim.Proc) {
 		sh.queue = sh.queue[0:copy(sh.queue, sh.queue[1:])]
 		sh.busy++
 		start := p.Now()
+		if op.Span != nil {
+			// Admission-queue wait ends here; bind the span to this
+			// worker so the block layer can stamp the I/Os it issues
+			// while executing this one request.
+			op.Span.Stamp(obs.StageAdmission, start-op.arrived)
+			sh.fab.tracer.Bind(p, op.Span)
+		}
 		// Per-request CPU work before the storage engine runs.
 		p.Sleep(sh.fab.cfg.ServeCost)
 		err := sh.execute(p, op)
+		if op.Span != nil {
+			sh.fab.tracer.Unbind(p)
+		}
 		sh.busy--
 		if err != nil {
 			// Engine failures are neither served nor latency samples.

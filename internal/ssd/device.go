@@ -302,6 +302,17 @@ func (d *Device) GCCoord() metrics.GCCoord {
 	return metrics.NewGCCoord()
 }
 
+// GCTouch probes the GC context of one logical page (which chip holds
+// it, whether that chip is collecting, whether a defer lease is
+// active) for trace-span annotation. Devices without a page-mapped FTL
+// report a zero probe with Chip -1.
+func (d *Device) GCTouch(lpn int64) ftl.GCTouch {
+	if pf := d.pageFTL(); pf != nil {
+		return pf.GCTouch(lpn)
+	}
+	return ftl.GCTouch{Chip: -1}
+}
+
 // AtomicWrite stores a group of pages all-or-nothing (Ouyang et al.'s
 // "beyond block I/O" primitive, cited in §3). The group lands in the
 // safe write buffer in one step, so a crash either preserves the whole

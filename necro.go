@@ -18,8 +18,11 @@
 //     submission path;
 //   - a replica placement layer over the fabric: quorum writes,
 //     GC-steered reads, drift-triggered live shard migration;
-//   - the experiment suite E1-E19: E1-E14 regenerate every figure and
-//     quantitative claim in the paper, E15-E19 grow the served system.
+//   - an observability spine: per-request trace spans stamped by every
+//     layer, tail-sampled flight recording, and a unified telemetry
+//     registry (package obs);
+//   - the experiment suite E1-E20: E1-E14 regenerate every figure and
+//     quantitative claim in the paper, E15-E20 grow the served system.
 //
 // Quick start:
 //
@@ -38,6 +41,7 @@ import (
 	"repro/internal/ftl"
 	"repro/internal/kvstore"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/pcm"
 	"repro/internal/place"
 	"repro/internal/sched"
@@ -281,6 +285,44 @@ func NewPlacement(f *Fabric) (*Placement, error) {
 	return place.New(f)
 }
 
+// Observability (package obs).
+type (
+	// Tracer opens, binds and aggregates per-request trace spans.
+	Tracer = obs.Tracer
+	// TraceSpan is one request's life, stamped stage by stage.
+	TraceSpan = obs.Span
+	// TraceStage names one exclusive segment of a span.
+	TraceStage = obs.Stage
+	// TraceRecord is an immutable closed-span record (flight recorder).
+	TraceRecord = obs.SpanRecord
+	// TraceRegistry merges the stack's scattered ledgers into one
+	// exportable telemetry snapshot.
+	TraceRegistry = obs.Registry
+	// TraceHistSummary is a histogram condensed for export.
+	TraceHistSummary = obs.HistSummary
+)
+
+// Trace stages.
+const (
+	// StageFrontend is routing/dispatch before shard admission.
+	StageFrontend = obs.StageFrontend
+	// StageAdmission is the shard admission-queue wait.
+	StageAdmission = obs.StageAdmission
+	// StageSched is DRR queue wait in the I/O scheduler.
+	StageSched = obs.StageSched
+	// StageDevice is dispatch→complete device service.
+	StageDevice = obs.StageDevice
+	// StageServe is shard serving time outside the stages above.
+	StageServe = obs.StageServe
+)
+
+// NewTracer builds a tracer whose flight recorder keeps the slowest
+// keep spans per class (0 picks the default).
+func NewTracer(keep int) *Tracer { return obs.NewTracer(keep) }
+
+// NewTraceRegistry builds an empty telemetry registry.
+func NewTraceRegistry() *TraceRegistry { return obs.NewRegistry() }
+
 // Workloads.
 type (
 	// Workload generates uFLIP-style access patterns.
@@ -307,7 +349,7 @@ func NewWorkload(p WorkloadPattern, span int64, seed uint64) (*Workload, error) 
 
 // Experiments.
 type (
-	// Experiment is one runner from the E1-E19 suite.
+	// Experiment is one runner from the E1-E20 suite.
 	Experiment = experiments.Runner
 	// ExperimentResult is a runner's tables, figures and finding.
 	ExperimentResult = experiments.Result
@@ -323,5 +365,5 @@ const (
 	Full = experiments.Full
 )
 
-// Experiments lists the full E1-E19 suite in paper order.
+// Experiments lists the full E1-E20 suite in paper order.
 func Experiments() []Experiment { return experiments.All }
