@@ -126,6 +126,13 @@ func BenchmarkE20Observability(b *testing.B) {
 	benchExperiment(b, experiments.E20Observability)
 }
 
+// BenchmarkE21ContinuousMonitoring measures the continuous-telemetry
+// layer: drift detection latency from sampled series, false-alert
+// immunity on unaged baselines, and the zero-serving-cost check.
+func BenchmarkE21ContinuousMonitoring(b *testing.B) {
+	benchExperiment(b, experiments.E21ContinuousMonitoring)
+}
+
 // ---- substrate microbenchmarks (real wall-clock cost of the simulator) ----
 
 // BenchmarkSimulatedPageWrite measures simulator throughput for the full

@@ -1,6 +1,6 @@
-// deathbench runs the full experiment suite (E1-E20): E1-E14 reproduce
+// deathbench runs the full experiment suite (E1-E21): E1-E14 reproduce
 // every figure and quantitative claim of "The Necessary Death of the
-// Block Device Interface", and E15-E20 extend the reproduction with the
+// Block Device Interface", and E15-E21 extend the reproduction with the
 // multi-tenant studies built on the paper's communication abstraction:
 // scheduler isolation (internal/sched), the sharded KV serving fabric
 // with admission control (internal/serve), host→device GC coordination
@@ -8,30 +8,44 @@
 // control plane (observed-service-time feedback closing the loop around
 // billing, deadlines, admission and GC leases), replicated shard
 // placement with GC-steered reads and drift-triggered live migration
-// (internal/place), and end-to-end request tracing with per-stage
-// tail-latency attribution (internal/obs).
+// (internal/place), end-to-end request tracing with per-stage
+// tail-latency attribution (internal/obs), and continuous telemetry —
+// the time-series sampler and SLO burn-rate health engine over it.
 // It prints the paper-style tables. docs/EXPERIMENTS.md indexes every
 // experiment with its headline result.
 //
 // Usage:
 //
-//	deathbench [-scale quick|full] [-only E5,E10] [-json results.json] [-obs telemetry.json]
+//	deathbench [-scale quick|full] [-only E5,E10] [-json results.json]
+//	           [-obs telemetry.json] [-series series.json]
+//	           [-goldenseries scripts/series_golden.txt] [-serve :9464]
 //
 // With -json, machine-readable per-experiment results (id, title,
 // scale, finding, headline metrics) are written to the given path, so
 // the bench trajectory (BENCH_*.json) can be captured per run. With
 // -obs, the unified telemetry snapshots (obs.Registry exports) of the
-// experiments that keep one are written as a map keyed by experiment ID.
+// experiments that keep one are written as a map keyed by experiment
+// ID; -series does the same for sampled time-series ring dumps.
+// -goldenseries compares the telemetry schema this run produced — every
+// registry source name and every sampled series name — against a golden
+// list and exits 1 on drift, so renamed or dropped telemetry fails CI
+// instead of silently breaking dashboards. -serve starts an HTTP
+// listener exposing the most recently started monitored fabric live at
+// /metrics (Prometheus text), /snapshot, /series, and /events, and
+// keeps serving the final state after the suite finishes.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // jsonResult is one experiment's machine-readable record.
@@ -48,6 +62,9 @@ func main() {
 	onlyFlag := flag.String("only", "", "comma-separated experiment IDs (e.g. E5,E10); empty = all")
 	jsonFlag := flag.String("json", "", "write machine-readable per-experiment results to this path")
 	obsFlag := flag.String("obs", "", "write per-experiment telemetry snapshots (registry exports) to this path")
+	seriesFlag := flag.String("series", "", "write per-experiment sampled time-series dumps to this path")
+	goldenFlag := flag.String("goldenseries", "", "compare registry source and series names against this golden list; exit 1 on drift")
+	serveFlag := flag.String("serve", "", "serve live telemetry over HTTP on this address (e.g. :9464)")
 	flag.Parse()
 
 	scale := experiments.Quick
@@ -60,6 +77,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *serveFlag != "" {
+		handler := obs.LiveExposition().Handler()
+		go func() {
+			if err := http.ListenAndServe(*serveFlag, handler); err != nil {
+				fmt.Fprintf(os.Stderr, "deathbench: serve %s: %v\n", *serveFlag, err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Printf("serving live telemetry on %s (/metrics /snapshot /series /events)\n\n", *serveFlag)
+	}
+
 	want := map[string]bool{}
 	if *onlyFlag != "" {
 		for _, id := range strings.Split(*onlyFlag, ",") {
@@ -70,6 +98,8 @@ func main() {
 	failed := 0
 	var records []jsonResult
 	snapshots := map[string]map[string]any{}
+	series := map[string]*obs.SeriesDump{}
+	schema := map[string]bool{}
 	for _, r := range experiments.All {
 		if len(want) > 0 && !want[r.ID] {
 			continue
@@ -90,6 +120,15 @@ func main() {
 		})
 		if res.Obs != nil {
 			snapshots[res.ID] = res.Obs
+			for src := range res.Obs {
+				schema["registry:"+src] = true
+			}
+		}
+		if res.Series != nil {
+			series[res.ID] = res.Series
+			for _, s := range res.Series.Series {
+				schema["series:"+s.Name] = true
+			}
 		}
 	}
 	if *jsonFlag != "" {
@@ -98,9 +137,64 @@ func main() {
 	if *obsFlag != "" {
 		writeJSON(*obsFlag, snapshots)
 	}
+	if *seriesFlag != "" {
+		writeJSON(*seriesFlag, series)
+	}
+	if *goldenFlag != "" && !checkGolden(*goldenFlag, schema) {
+		failed++
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+	if *serveFlag != "" {
+		fmt.Println("suite done; still serving the final telemetry state (interrupt to exit)")
+		select {}
+	}
+}
+
+// checkGolden diffs the telemetry schema this run produced against the
+// golden list (one name per line, # comments allowed). Both missing and
+// unexpected names are drift: a rename breaks whatever consumed the old
+// name, and an unlisted addition means the golden list no longer
+// describes the exported surface.
+func checkGolden(path string, got map[string]bool) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deathbench: goldenseries: %v\n", err)
+		return false
+	}
+	want := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		want[line] = true
+	}
+	var missing, extra []string
+	for name := range want {
+		if !got[name] {
+			missing = append(missing, name)
+		}
+	}
+	for name := range got {
+		if !want[name] {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	for _, name := range missing {
+		fmt.Fprintf(os.Stderr, "deathbench: telemetry schema drift: %s missing from this run\n", name)
+	}
+	for _, name := range extra {
+		fmt.Fprintf(os.Stderr, "deathbench: telemetry schema drift: %s not in golden list %s\n", name, path)
+	}
+	if len(missing)+len(extra) > 0 {
+		return false
+	}
+	fmt.Printf("telemetry schema matches %s (%d names)\n", path, len(want))
+	return true
 }
 
 // writeJSON marshals v indented and writes it to path, exiting on error.

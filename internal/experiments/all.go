@@ -28,4 +28,5 @@ var All = []Runner{
 	{"E18", E18AdaptiveControlPlane},
 	{"E19", E19ReplicatedPlacement},
 	{"E20", E20Observability},
+	{"E21", E21ContinuousMonitoring},
 }

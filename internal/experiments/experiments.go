@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 )
@@ -52,6 +53,11 @@ type Result struct {
 	// and captures one; cmd/deathbench -obs writes these per
 	// experiment. Nil when the experiment keeps no registry.
 	Obs map[string]any
+	// Series is the experiment's sampled time-series rings (an
+	// obs.Sampler dump), when the experiment runs a continuously
+	// sampled fabric; cmd/deathbench -series writes these per
+	// experiment. Nil when the experiment keeps no sampler.
+	Series *obs.SeriesDump
 }
 
 // String renders the result for terminal output.

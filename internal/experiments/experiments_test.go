@@ -287,8 +287,8 @@ func TestE14MatrixSeparatesGenerations(t *testing.T) {
 }
 
 func TestAllRunnersListed(t *testing.T) {
-	if len(All) != 20 {
-		t.Fatalf("All has %d runners, want 20", len(All))
+	if len(All) != 21 {
+		t.Fatalf("All has %d runners, want 21", len(All))
 	}
 	seen := map[string]bool{}
 	for _, r := range All {
@@ -368,6 +368,63 @@ func TestE20SpanAccountingCloses(t *testing.T) {
 		t.Fatal("E20 returned no registry snapshot")
 	}
 	for _, src := range []string{"shard_stats", "shard_latencies", "gc_coord", "trace"} {
+		if _, ok := r.Obs[src]; !ok {
+			t.Errorf("registry snapshot missing source %q", src)
+		}
+	}
+}
+
+func TestE21MonitorDetectsDriftWithoutCost(t *testing.T) {
+	r, err := E21ContinuousMonitoring(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The acceptance bar: the drift watch converts injected mid-window
+	// aging into an alert within the post-aging half of the window (20
+	// sampling ticks at quick scale) on every stack, the unaged
+	// baseline never false-alarms, and monitoring costs nothing — the
+	// monitored fabric serves exactly what the unmonitored one does.
+	for _, mode := range []string{"SingleQueue", "MultiQueue", "Direct"} {
+		d := r.Headline["detect_ticks_"+mode]
+		if d < 1 || d > 20 {
+			t.Errorf("%s: drift detected in %v ticks, want within (0, 20]", mode, d)
+		}
+	}
+	if got := r.Headline["false_drift_alerts_unaged"]; got != 0 {
+		t.Errorf("%v false drift alerts on unaged baselines", got)
+	}
+	if got := r.Headline["served_delta_monitored"]; got != 0 {
+		t.Errorf("monitored vs plain served counts differ by %v requests", got)
+	}
+	if got := r.Headline["overhead_pct"]; got != 0 {
+		t.Errorf("monitoring overhead %.2f%%, want exactly 0", got)
+	}
+	if len(r.Tables) != 2 {
+		t.Fatalf("tables = %d, want comparison + event ledger", len(r.Tables))
+	}
+	if rows := r.Tables[0].Rows(); rows != 3 {
+		t.Fatalf("comparison rows = %d, want one per stack mode", rows)
+	}
+	// The series dump rides along for deathbench -series, and must hold
+	// the core fabric and GC rings the golden schema pins.
+	if r.Series == nil {
+		t.Fatal("E21 returned no series dump")
+	}
+	have := map[string]bool{}
+	for _, s := range r.Series.Series {
+		have[s.Name] = true
+	}
+	for _, want := range []string{"fabric.served", "fabric.rejected", "gc.floor_hits",
+		"gc.min_headroom_pages", "class.latency.missed", "dev0.svc_write_us"} {
+		if !have[want] {
+			t.Errorf("series dump missing %q", want)
+		}
+	}
+	// The monitor snapshot joins the unified registry export.
+	if r.Obs == nil {
+		t.Fatal("E21 returned no registry snapshot")
+	}
+	for _, src := range []string{"series", "monitor"} {
 		if _, ok := r.Obs[src]; !ok {
 			t.Errorf("registry snapshot missing source %q", src)
 		}

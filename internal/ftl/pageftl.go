@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -88,6 +89,8 @@ type PageFTL struct {
 	deferFloor    int
 	deferFloorHit bool // this session already charged a ForcedResume
 	coord         metrics.GCCoord
+	evsink        obs.EventSink // health-event sink (floor hits, forced GC)
+	evlabel       string
 
 	inFlight     int64 // outstanding flash programs + GC copies
 	flushWaiters []func()

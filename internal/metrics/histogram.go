@@ -24,6 +24,7 @@ type Histogram struct {
 	keys   []int // occupied buckets, always sorted ascending
 	n      int64
 	sum    int64
+	sumsq  float64 // sum of squared samples, for Variance
 	min    int64
 	max    int64
 }
@@ -79,6 +80,7 @@ func (h *Histogram) Record(v int64) {
 	h.addBucket(bucketOf(v), 1)
 	h.n++
 	h.sum += v
+	h.sumsq += float64(v) * float64(v)
 	if v < h.min {
 		h.min = v
 	}
@@ -99,6 +101,20 @@ func (h *Histogram) Mean() float64 {
 		return 0
 	}
 	return float64(h.sum) / float64(h.n)
+}
+
+// Variance reports the population variance of the samples, or 0 with
+// fewer than two. Units are the square of the sample unit.
+func (h *Histogram) Variance() float64 {
+	if h.n < 2 {
+		return 0
+	}
+	mean := float64(h.sum) / float64(h.n)
+	v := h.sumsq/float64(h.n) - mean*mean
+	if v < 0 { // floating-point cancellation on near-constant samples
+		v = 0
+	}
+	return v
 }
 
 // Min reports the smallest sample, or 0 with no samples.
@@ -168,6 +184,7 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 	h.n += other.n
 	h.sum += other.sum
+	h.sumsq += other.sumsq
 	if other.min < h.min {
 		h.min = other.min
 	}
@@ -176,11 +193,73 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 }
 
+// Clone returns an independent copy of the histogram. Cloning nil or
+// the zero value yields an empty histogram.
+func (h *Histogram) Clone() *Histogram {
+	c := &Histogram{}
+	if h == nil || h.n == 0 {
+		return c
+	}
+	c.counts = make(map[int]int64, len(h.counts))
+	for k, v := range h.counts {
+		c.counts[k] = v
+	}
+	c.keys = append([]int(nil), h.keys...)
+	c.n, c.sum, c.sumsq, c.min, c.max = h.n, h.sum, h.sumsq, h.min, h.max
+	return c
+}
+
+// DeltaFrom returns the histogram of samples recorded since prev, where
+// prev is an earlier Clone of the same cumulative histogram. Bucket
+// counts, n, sum, and sum-of-squares subtract exactly; min/max cannot
+// be recovered per-interval from cumulative state, so they are
+// approximated by the interval's occupied bucket bounds — unless the
+// cumulative min/max themselves moved during the interval, in which
+// case the new extreme is exact. A nil or empty prev returns a clone.
+func (h *Histogram) DeltaFrom(prev *Histogram) *Histogram {
+	if h == nil {
+		return &Histogram{}
+	}
+	if prev == nil || prev.n == 0 {
+		return h.Clone()
+	}
+	d := &Histogram{counts: make(map[int]int64), min: math.MaxInt64}
+	for _, k := range h.keys {
+		if c := h.counts[k] - prev.counts[k]; c > 0 {
+			d.addBucket(k, c)
+		}
+	}
+	d.n = h.n - prev.n
+	if d.n <= 0 {
+		return &Histogram{}
+	}
+	d.sum = h.sum - prev.sum
+	d.sumsq = h.sumsq - prev.sumsq
+	if d.sumsq < 0 {
+		d.sumsq = 0
+	}
+	if len(d.keys) > 0 {
+		d.min = bucketLow(d.keys[0])
+		d.max = bucketLow(d.keys[len(d.keys)-1])
+	}
+	if h.min < prev.min && h.min < d.min {
+		d.min = h.min
+	}
+	if h.max > prev.max {
+		d.max = h.max
+	}
+	if d.min > d.max {
+		d.min = d.max
+	}
+	return d
+}
+
 // Reset discards all samples.
 func (h *Histogram) Reset() {
 	h.counts = nil
 	h.keys = nil
 	h.n, h.sum, h.min, h.max = 0, 0, 0, 0
+	h.sumsq = 0
 }
 
 // Summary formats count/mean/p50/p99/max in microseconds.

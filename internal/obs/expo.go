@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// Exposition serves live telemetry over HTTP: /metrics renders the
+// sampler's latest values in the Prometheus text format, /snapshot the
+// registry's merged JSON document, /series the full ring dump, and
+// /events the monitor's health timeline. The underlying sources are
+// swappable mid-flight (Set), so one server can follow a sequence of
+// experiment runs; handlers are safe against the sim thread because
+// Sampler, Monitor, and Registry each guard their own state.
+type Exposition struct {
+	mu  sync.Mutex
+	reg *Registry
+	sam *Sampler
+	mon *Monitor
+}
+
+// NewExposition returns an exposition with no sources; endpoints
+// respond 503 until Set installs some.
+func NewExposition() *Exposition { return &Exposition{} }
+
+// Set swaps the live sources. Any of them may be nil. Nil-safe.
+func (e *Exposition) Set(reg *Registry, sam *Sampler, mon *Monitor) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.reg, e.sam, e.mon = reg, sam, mon
+	e.mu.Unlock()
+}
+
+func (e *Exposition) sources() (*Registry, *Sampler, *Monitor) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.reg, e.sam, e.mon
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func unavailable(w http.ResponseWriter) {
+	http.Error(w, "no live run attached", http.StatusServiceUnavailable)
+}
+
+// The process-wide live exposition. Fabrics publish their telemetry
+// here as they are built (serve.startTelemetry calls PublishLive), so
+// a long-lived HTTP server — deathbench -serve — always shows the most
+// recently started run without the experiments knowing it exists.
+var (
+	liveMu   sync.Mutex
+	liveExpo *Exposition
+)
+
+// LiveExposition returns the process-wide exposition, creating it on
+// first use. Until it is requested, PublishLive is a no-op, so runs
+// that never serve HTTP keep no global references.
+func LiveExposition() *Exposition {
+	liveMu.Lock()
+	defer liveMu.Unlock()
+	if liveExpo == nil {
+		liveExpo = NewExposition()
+	}
+	return liveExpo
+}
+
+// PublishLive points the process-wide exposition, if anyone asked for
+// one, at the given sources. Any of them may be nil.
+func PublishLive(reg *Registry, sam *Sampler, mon *Monitor) {
+	liveMu.Lock()
+	e := liveExpo
+	liveMu.Unlock()
+	e.Set(reg, sam, mon)
+}
+
+// Handler returns the HTTP mux serving the four endpoints.
+func (e *Exposition) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		_, sam, _ := e.sources()
+		if sam == nil {
+			unavailable(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_, _ = w.Write([]byte(sam.PromText()))
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		reg, _, _ := e.sources()
+		if reg == nil {
+			unavailable(w)
+			return
+		}
+		writeJSON(w, reg.Export())
+	})
+	mux.HandleFunc("/series", func(w http.ResponseWriter, r *http.Request) {
+		_, sam, _ := e.sources()
+		if sam == nil {
+			unavailable(w)
+			return
+		}
+		writeJSON(w, sam.Dump())
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		_, _, mon := e.sources()
+		if mon == nil {
+			unavailable(w)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"counts": mon.Counts(),
+			"firing": mon.Firing(),
+			"events": mon.Events(),
+		})
+	})
+	return mux
+}

@@ -2,20 +2,25 @@ package obs
 
 import (
 	"encoding/json"
+	"math"
 	"sync"
 
 	"repro/internal/metrics"
 )
 
 // HistSummary is a histogram reduced to its exportable quantiles, in
-// microseconds.
+// microseconds. StddevUs carries the spread so a series of interval
+// summaries can tell a tail blowup (p99 and stddev explode, p50 and
+// min hold) from a uniform slowdown (everything shifts together).
 type HistSummary struct {
-	Count  int64   `json:"count"`
-	MeanUs float64 `json:"mean_us"`
-	P50Us  float64 `json:"p50_us"`
-	P95Us  float64 `json:"p95_us"`
-	P99Us  float64 `json:"p99_us"`
-	MaxUs  float64 `json:"max_us"`
+	Count    int64   `json:"count"`
+	MeanUs   float64 `json:"mean_us"`
+	StddevUs float64 `json:"stddev_us"`
+	MinUs    float64 `json:"min_us"`
+	P50Us    float64 `json:"p50_us"`
+	P95Us    float64 `json:"p95_us"`
+	P99Us    float64 `json:"p99_us"`
+	MaxUs    float64 `json:"max_us"`
 }
 
 // Summarize reduces a histogram to its exportable quantiles.
@@ -24,12 +29,14 @@ func Summarize(h *metrics.Histogram) HistSummary {
 		return HistSummary{}
 	}
 	return HistSummary{
-		Count:  h.Count(),
-		MeanUs: h.Mean() / 1e3,
-		P50Us:  float64(h.P50()) / 1e3,
-		P95Us:  float64(h.P95()) / 1e3,
-		P99Us:  float64(h.P99()) / 1e3,
-		MaxUs:  float64(h.Max()) / 1e3,
+		Count:    h.Count(),
+		MeanUs:   h.Mean() / 1e3,
+		StddevUs: math.Sqrt(h.Variance()) / 1e3,
+		MinUs:    float64(h.Min()) / 1e3,
+		P50Us:    float64(h.P50()) / 1e3,
+		P95Us:    float64(h.P95()) / 1e3,
+		P99Us:    float64(h.P99()) / 1e3,
+		MaxUs:    float64(h.Max()) / 1e3,
 	}
 }
 

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// runSampled drives a sampler for n ticks of virtual time: the mutate
+// hook runs between consecutive ticks (at the half-interval offset), so
+// every tick observes the state the previous mutation left.
+func runSampled(s *Sampler, n int, mutate func(tick int)) {
+	eng := sim.NewEngine()
+	s.Start(eng)
+	if mutate != nil {
+		eng.Go(func(p *sim.Proc) {
+			p.Sleep(s.Interval() / 2)
+			for i := 0; i < n; i++ {
+				mutate(i)
+				p.Sleep(s.Interval())
+			}
+		})
+	}
+	eng.Schedule(sim.Time(n)*s.Interval()+s.Interval()/2, s.Stop)
+	eng.Run()
+}
+
+// TestSamplerCounterDeltasAcrossWrap: counter rates stay exact after
+// the ring wraps — the pre-wrap raw value is gone, but consecutive
+// surviving points still difference correctly.
+func TestSamplerCounterDeltasAcrossWrap(t *testing.T) {
+	s := NewSampler(sim.Millisecond, 4)
+	var total float64
+	s.AddCounter("c", func() float64 { return total })
+
+	const ticks = 10
+	runSampled(s, ticks, func(i int) { total += float64((i + 1) * 100) })
+
+	if s.Ticks() != ticks {
+		t.Fatalf("ticks = %d, want %d", s.Ticks(), ticks)
+	}
+	pts := s.Last("c", 10)
+	if len(pts) != 4 {
+		t.Fatalf("ring holds %d points, want capacity 4", len(pts))
+	}
+	// Ticks 7..10 survive: cumulative sums 100+...+700, ..., +1000.
+	want := []float64{2800, 3600, 4500, 5500}
+	for i, p := range pts {
+		if p.V != want[i] {
+			t.Fatalf("point %d = %v, want %v (ring %v)", i, p.V, want[i], pts)
+		}
+	}
+	d := s.Dump()
+	if d.Ticks != ticks {
+		t.Fatalf("dump ticks = %d", d.Ticks)
+	}
+	var sd *SeriesData
+	for i := range d.Series {
+		if d.Series[i].Name == "c" {
+			sd = &d.Series[i]
+		}
+	}
+	if sd == nil || sd.Kind != KindCounter {
+		t.Fatalf("series c missing or wrong kind: %+v", sd)
+	}
+	// Rates are per second of virtual time: delta 800 over 1ms = 800k/s.
+	if len(sd.Rates) != 3 {
+		t.Fatalf("rates = %d points, want 3", len(sd.Rates))
+	}
+	for i, wantD := range []float64{800, 900, 1000} {
+		if got := sd.Rates[i].V; math.Abs(got-wantD*1000) > 1e-6 {
+			t.Fatalf("rate %d = %v, want %v", i, got, wantD*1000)
+		}
+	}
+}
+
+// TestSamplerHistDeltas: histogram probes export per-interval
+// statistics diffed from the cumulative histogram, including across a
+// tick that records nothing.
+func TestSamplerHistDeltas(t *testing.T) {
+	s := NewSampler(sim.Millisecond, 8)
+	h := &metrics.Histogram{}
+	s.AddHist("lat", func() *metrics.Histogram { return h })
+
+	runSampled(s, 3, func(i int) {
+		switch i {
+		case 0:
+			h.Record(1000)
+			h.Record(3000)
+		case 1: // idle interval: all stats must read zero, not repeat
+		case 2:
+			h.Record(2000)
+		}
+	})
+
+	count := s.Last("lat.count", 3)
+	if len(count) != 3 {
+		t.Fatalf("count points = %d, want 3", len(count))
+	}
+	for i, want := range []float64{2, 0, 1} {
+		if count[i].V != want {
+			t.Fatalf("interval %d count = %v, want %v", i, count[i].V, want)
+		}
+	}
+	mean := s.Last("lat.mean_us", 3)
+	if mean[0].V != 2 || mean[1].V != 0 || mean[2].V != 2 {
+		t.Fatalf("mean_us = %v, want [2 0 2]", mean)
+	}
+	// The last interval's min must be the interval's own value, not the
+	// cumulative minimum from the first interval.
+	min := s.Last("lat.min_us", 1)
+	if min[0].V < 1.5 {
+		t.Fatalf("interval min_us = %v, want the interval's own ~2", min[0].V)
+	}
+}
+
+// TestSamplerStopHaltsTicks: a stopped sampler must not reschedule —
+// otherwise eng.Run() never drains.
+func TestSamplerStopHaltsTicks(t *testing.T) {
+	s := NewSampler(sim.Millisecond, 8)
+	s.AddGauge("g", func() float64 { return 1 })
+	runSampled(s, 5, nil) // runSampled returning at all proves the stop
+	if got := s.Ticks(); got != 5 {
+		t.Fatalf("ticks = %d, want 5", got)
+	}
+}
+
+// TestSamplerPromText: the exposition renders every series with a TYPE
+// line, sanitized names, and the necro namespace.
+func TestSamplerPromText(t *testing.T) {
+	s := NewSampler(sim.Millisecond, 8)
+	var n float64
+	s.AddCounter("fabric.served", func() float64 { return n })
+	s.AddGauge("dev0.cal-ratio", func() float64 { return 2.5 })
+	runSampled(s, 2, func(int) { n += 10 })
+
+	text := s.PromText()
+	for _, want := range []string{
+		"# TYPE necro_fabric_served counter",
+		"necro_fabric_served 20",
+		"# TYPE necro_dev0_cal_ratio gauge",
+		"necro_dev0_cal_ratio 2.5",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("PromText missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestSamplerNilSafety: a nil sampler is inert everywhere the fabric
+// threads one.
+func TestSamplerNilSafety(t *testing.T) {
+	var s *Sampler
+	s.AddGauge("g", func() float64 { return 1 })
+	s.AddCounter("c", func() float64 { return 1 })
+	s.AddHist("h", func() *metrics.Histogram { return nil })
+	s.OnSample(func(sim.Time) {})
+	s.Start(sim.NewEngine())
+	s.Stop()
+	if s.Ticks() != 0 || s.Last("g", 1) != nil || s.Names() != nil {
+		t.Fatal("nil sampler not inert")
+	}
+	if d := s.Dump(); d.Series != nil {
+		t.Fatal("nil sampler dumped series")
+	}
+	if s.PromText() != "" {
+		t.Fatal("nil sampler rendered text")
+	}
+}
+
+// TestRegistryAttachRacesExport: sources attach while exports run — the
+// shape a live HTTP exposition creates against a starting fabric. Run
+// under -race.
+func TestRegistryAttachRacesExport(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				reg.Export()
+				reg.Sources()
+			}
+		}
+	}()
+	names := []string{"a", "b", "c", "d"}
+	for i := 0; i < 200; i++ {
+		i := i
+		reg.Attach(names[i%len(names)], func() any { return i })
+	}
+	close(stop)
+	wg.Wait()
+	if got := len(reg.Sources()); got != len(names) {
+		t.Fatalf("sources = %d, want %d", got, len(names))
+	}
+}
+
+// TestTracerEvictionRacesClose: spans close (forcing flight-recorder
+// ring evictions) while readers walk the rings. Run under -race.
+func TestTracerEvictionRacesClose(t *testing.T) {
+	tr := NewTracer(4)
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.Slowest("latency")
+				tr.Explain("latency")
+				tr.Snapshot()
+			}
+		}
+	}()
+	const writers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				sp := tr.Open("latency", "get", sim.Time(i))
+				sp.Stamp(StageDevice, sim.Time(i%7))
+				sp.Close(sim.Time(100+(w*i)%1000), nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	if got := len(tr.Slowest("latency")); got != 4 {
+		t.Fatalf("ring holds %d, want 4", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/blockdev"
 	"repro/internal/kvstore"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/sim"
 )
@@ -263,6 +264,8 @@ func (m *Mover) migrate(p *sim.Proc, g *Group, src *serve.Shard) {
 	}
 	mig := &migration{src: src, dst: dst, dirty: map[string]struct{}{}}
 	g.mig = mig
+	m.event(p, obs.EventMigrationStart, g, fmt.Sprintf(
+		"replica leaving device %d for device %d", src.DeviceIndex(), d))
 
 	// The copy source: the healthiest *surviving* replica — acked data
 	// is identical on all of them, and the device being evacuated is
@@ -284,6 +287,9 @@ func (m *Mover) migrate(p *sim.Proc, g *Group, src *serve.Shard) {
 		g.mig = nil
 		m.pl.fab.Retire(dst)
 		m.led.MigrationsAborted++
+		m.event(p, obs.EventMigrationAbort, g, fmt.Sprintf(
+			"copy to device %d abandoned; source replica stays on device %d",
+			d, src.DeviceIndex()))
 		g.releaseHeld(held) // fails with ErrStopped on a stopped fabric
 	}
 
@@ -319,7 +325,18 @@ func (m *Mover) migrate(p *sim.Proc, g *Group, src *serve.Shard) {
 	mig.held = nil
 	g.mig = nil
 	m.led.Migrations++
+	m.event(p, obs.EventMigrationFinish, g, fmt.Sprintf(
+		"replica settled on device %d; %d keys bulk-copied", d, copied))
 	g.releaseHeld(held)
+}
+
+// event reports one migration lifecycle transition to the fabric's
+// health monitor (inert when monitoring is off).
+func (m *Mover) event(p *sim.Proc, kind obs.EventKind, g *Group, detail string) {
+	m.pl.fab.Monitor().Emit(obs.HealthEvent{
+		Kind: kind, At: p.Now(), Name: fmt.Sprintf("shard%d", g.idx),
+		Detail: detail, Value: float64(m.led.Migrations),
+	})
 }
 
 // copyDelta drains the migration's dirty set once: the current keys

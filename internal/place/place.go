@@ -54,8 +54,16 @@ func New(f *serve.Fabric) (*Placement, error) {
 		pl.targets[i] = g
 	}
 	// The placement's steering/quorum/migration ledger joins the
-	// fabric's unified telemetry snapshot.
+	// fabric's unified telemetry snapshot, and — when the fabric runs a
+	// sampler — the headline steering counters become time series too,
+	// so migration activity lines up against latency on one clock.
 	f.Registry().Attach("place_ledger", func() any { return pl.Ledger() })
+	if s := f.Sampler(); s != nil {
+		s.AddCounter("place.steered_reads", func() float64 { return float64(pl.Ledger().SteeredReads) })
+		s.AddCounter("place.avoided_gc", func() float64 { return float64(pl.Ledger().AvoidedGC) })
+		s.AddCounter("place.migrations", func() float64 { return float64(pl.Ledger().Migrations) })
+		s.AddCounter("place.migrations_aborted", func() float64 { return float64(pl.Ledger().MigrationsAborted) })
+	}
 	return pl, nil
 }
 

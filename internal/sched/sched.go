@@ -272,6 +272,12 @@ type Scheduler struct {
 	gcRetryAt    sim.Time
 	gcLeaseSlice sim.Time // length of the currently granted lease
 
+	// Health-event sink for lease decisions (obs.Monitor when the
+	// fabric monitors; nil otherwise) and the device label it reports
+	// under.
+	evsink  obs.EventSink
+	evlabel string
+
 	// GCDeferrals counts throughput requests held back at least once by
 	// the GC-aware policy.
 	GCDeferrals int64
@@ -335,6 +341,13 @@ func New(eng *sim.Engine, cfg Config) *Scheduler {
 // free.
 func (s *Scheduler) SetGCControl(ctl GCControl) { s.gcctl = ctl }
 
+// SetEventSink wires a health-event sink for lease grant/decline
+// moments, labeled with the device this scheduler fronts. A nil sink
+// detaches.
+func (s *Scheduler) SetEventSink(sink obs.EventSink, label string) {
+	s.evsink, s.evlabel = sink, label
+}
+
 // GCCoordActive reports whether the scheduler currently holds a GC
 // deferral lease on the device.
 func (s *Scheduler) GCCoordActive() bool { return s.gcDeferUntil > s.eng.Now() }
@@ -378,6 +391,13 @@ func (s *Scheduler) maybeDeferGC() {
 				// same way a refusal would.
 				s.GCDeferDeclined++
 				s.gcRetryAt = now + s.cfg.GCDeferSlice/2
+				if s.evsink != nil {
+					s.evsink.Emit(obs.HealthEvent{
+						Kind: obs.EventLeaseDecline, At: now, Name: s.evlabel,
+						Value:  float64(s.latencyBacklog),
+						Detail: "lease declined locally: device urgent",
+					})
+				}
 				return
 			case ftl.GCElevated:
 				// GC already wants to run: every deferred instant spends
@@ -392,9 +412,23 @@ func (s *Scheduler) maybeDeferGC() {
 	if s.gcctl.DeferGC(until) {
 		s.gcDeferUntil = until
 		s.gcLeaseSlice = slice
+		if s.evsink != nil {
+			s.evsink.Emit(obs.HealthEvent{
+				Kind: obs.EventLeaseGrant, At: now, Name: s.evlabel,
+				Value:  slice.Micros(),
+				Detail: "GC deferral leased for " + slice.String(),
+			})
+		}
 	} else {
 		s.GCDeferRefused++
 		s.gcRetryAt = now + s.cfg.GCDeferSlice/2
+		if s.evsink != nil {
+			s.evsink.Emit(obs.HealthEvent{
+				Kind: obs.EventLeaseDecline, At: now, Name: s.evlabel,
+				Value:  float64(s.latencyBacklog),
+				Detail: "lease refused by device",
+			})
+		}
 	}
 }
 

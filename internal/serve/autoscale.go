@@ -176,6 +176,7 @@ func (a *Autoscaler) tickShard(sh *Shard) {
 			sh.setWorkers(sh.target + 1)
 			a.Grows++
 			a.hold[sh] = a.cfg.Cooldown
+			a.fab.emitAutoscale(sh, fmt.Sprintf("grew workers to %d (miss %.0f%%)", sh.target, 100*miss), float64(sh.target))
 		} else if sh.rate > 0 && sh.rate > a.cfg.MinRate {
 			next := sh.rate / a.cfg.RateStep
 			if next < a.cfg.MinRate {
@@ -184,6 +185,7 @@ func (a *Autoscaler) tickShard(sh *Shard) {
 			sh.setRate(next)
 			a.RateDowns++
 			a.hold[sh] = a.cfg.Cooldown
+			a.fab.emitAutoscale(sh, fmt.Sprintf("cut admission rate to %.0f/s (miss %.0f%%)", next, 100*miss), next)
 		}
 	case miss < a.cfg.MissLow:
 		// The SLO has slack. First hand back admission headroom that an
@@ -199,10 +201,12 @@ func (a *Autoscaler) tickShard(sh *Shard) {
 			sh.setRate(next)
 			a.RateUps++
 			a.hold[sh] = a.cfg.Cooldown
+			a.fab.emitAutoscale(sh, fmt.Sprintf("raised admission rate to %.0f/s (rej %.0f%%)", next, 100*rej), next)
 		} else if sh.target > a.cfg.MinWorkers && len(sh.queue) == 0 && rej == 0 {
 			sh.setWorkers(sh.target - 1)
 			a.Shrinks++
 			a.hold[sh] = a.cfg.Cooldown
+			a.fab.emitAutoscale(sh, fmt.Sprintf("shrank workers to %d", sh.target), float64(sh.target))
 		}
 	}
 }

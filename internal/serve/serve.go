@@ -157,6 +157,18 @@ type Config struct {
 	// TraceKeep bounds the flight recorder (slowest spans kept per
 	// class; 0 = 8).
 	TraceKeep int
+	// Sample enables the continuous time-series sampler (obs.Sampler):
+	// a sim-clock-driven tick snapshots every fabric ledger into
+	// fixed-capacity rings — counters, gauges, and per-shard latency
+	// histograms diffed into interval statistics. Sampling charges zero
+	// virtual time, so a sampled fabric serves exactly what an
+	// unsampled one does.
+	Sample obs.SampleConfig
+	// Monitor enables the SLO health engine (obs.Monitor) over the
+	// sampled series: per-class burn-rate alerts, device drift watches,
+	// GC-storm / floor-proximity / admission-collapse detection, and
+	// typed health events from the acting layers. Implies Sample.
+	Monitor obs.MonitorConfig
 }
 
 // deviceGroup is one flash device with its stack and scheduler.
@@ -178,6 +190,9 @@ type Fabric struct {
 	scaler   *Autoscaler
 	tracer   *obs.Tracer
 	registry *obs.Registry
+	sampler  *obs.Sampler
+	monitor  *obs.Monitor
+	byClass  [2]ClassLedger
 	stopped  bool
 	crashing bool
 
@@ -262,6 +277,10 @@ func New(p *sim.Proc, eng *sim.Engine, cfg Config) (*Fabric, error) {
 		// measure "coordination on" that was actually off).
 		cfg.Scheduled = true
 		cfg.Sched.GCCoordinate = true
+	}
+
+	if cfg.Monitor.Enabled {
+		cfg.Sample.Enabled = true
 	}
 
 	f := &Fabric{
@@ -368,6 +387,7 @@ func New(p *sim.Proc, eng *sim.Engine, cfg Config) (*Fabric, error) {
 		f.scaler = newAutoscaler(f, cfg.Autoscale)
 		eng.Go(f.scaler.run)
 	}
+	f.startTelemetry()
 	return f, nil
 }
 
@@ -435,6 +455,11 @@ func (f *Fabric) buildShard(p *sim.Proc, name string, logical, replica, d int) (
 	f.shards = append(f.shards, sh)
 	f.targets = nil
 	sh.setWorkers(f.cfg.WorkersPerShard)
+	// Shards built after startTelemetry (migrated-in replicas) join the
+	// sampler here; the initial set is attached in one pass at startup.
+	if f.sampler != nil {
+		f.attachShardProbes(sh)
+	}
 	return sh, nil
 }
 
@@ -528,11 +553,15 @@ func (f *Fabric) Stats() *metrics.ShardStats { return f.stats }
 func (f *Fabric) ShardLatencies() *metrics.TenantLatencies { return f.shardLat }
 
 // ResetStats clears the per-shard counters, latency sets and trace
-// aggregates (after a warmup or preload phase).
+// aggregates (after a warmup or preload phase). Monitored fabrics also
+// rebase drift baselines: the measurement epoch starts here, so drift
+// is judged against the post-warmup steady state, not the cold start.
 func (f *Fabric) ResetStats() {
 	f.stats.Reset()
 	f.shardLat.Reset()
 	f.tracer.Reset()
+	f.byClass = [2]ClassLedger{}
+	f.monitor.Rebase()
 }
 
 // Tracer returns the fabric's request tracer, or nil when Config.Trace
@@ -625,6 +654,7 @@ func (f *Fabric) Stop(drain bool) {
 		return
 	}
 	f.stopped = true
+	f.sampler.Stop()
 	for _, sh := range f.shards {
 		if !drain {
 			sh.failBacklog(ErrStopped)

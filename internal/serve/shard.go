@@ -203,6 +203,7 @@ func (sh *Shard) Submit(op Op, done func(error)) {
 	if ac.Enabled {
 		if len(sh.queue) >= ac.QueueLimit {
 			sh.stats.Rejected++
+			sh.fab.classLedger(op.Class).Rejected++
 			if done != nil {
 				done(ErrRejected)
 			}
@@ -216,6 +217,7 @@ func (sh *Shard) Submit(op Op, done func(error)) {
 			// admittable one could have used.
 			sh.stats.Rejected++
 			sh.stats.EarlyDropped++
+			sh.fab.classLedger(op.Class).Rejected++
 			if done != nil {
 				done(ErrRejected)
 			}
@@ -223,6 +225,7 @@ func (sh *Shard) Submit(op Op, done func(error)) {
 		}
 		if !sh.bucket.TryTake(sh.fab.eng.Now()) {
 			sh.stats.Rejected++
+			sh.fab.classLedger(op.Class).Rejected++
 			if done != nil {
 				done(ErrRejected)
 			}
@@ -404,6 +407,7 @@ func (sh *Shard) worker(p *sim.Proc) {
 				sh.svc.Record(svcAll, int64(now), svc)
 			}
 			sh.stats.Served++
+			sh.fab.classLedger(op.Class).Served++
 			sh.fab.shardLat.Record(sh.name, int64(now-op.arrived))
 			// Misses are always scored against the configured SLO, never
 			// the derived admission target: an adaptive fabric must not
@@ -411,6 +415,7 @@ func (sh *Shard) worker(p *sim.Proc) {
 			// miss rates would compare different success criteria.
 			if d := sh.staticDeadlineFor(op.Class); d > 0 && now-op.arrived > d {
 				sh.stats.DeadlineMissed++
+				sh.fab.classLedger(op.Class).Missed++
 			}
 		}
 		if op.done != nil {

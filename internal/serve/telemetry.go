@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/blockdev"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/ssd"
+)
+
+// ClassLedger counts per-request-class serving outcomes fabric-wide.
+// metrics.ShardCounters is deliberately class-blind (the shard ledger
+// predates classes); SLO error budgets are per class, so the fabric
+// keeps this thin parallel ledger for the monitor's burn-rate watches.
+type ClassLedger struct {
+	Served   int64 `json:"served"`
+	Missed   int64 `json:"missed"`
+	Rejected int64 `json:"rejected"`
+}
+
+// classIdx maps a request class onto the fabric's per-class ledger
+// slots (latency first, everything else billed as throughput).
+func classIdx(c sched.Class) int {
+	if c == sched.LatencySensitive {
+		return 0
+	}
+	return 1
+}
+
+func (f *Fabric) classLedger(c sched.Class) *ClassLedger {
+	return &f.byClass[classIdx(c)]
+}
+
+// ClassLedgerFor reports the fabric-wide serving outcomes of one
+// request class.
+func (f *Fabric) ClassLedgerFor(c sched.Class) ClassLedger {
+	return f.byClass[classIdx(c)]
+}
+
+// Sampler returns the fabric's time-series sampler, or nil when
+// Config.Sample (and Config.Monitor) is off.
+func (f *Fabric) Sampler() *obs.Sampler { return f.sampler }
+
+// Monitor returns the fabric's SLO health engine, or nil when
+// Config.Monitor is off (a nil monitor is valid and inert everywhere
+// it is threaded).
+func (f *Fabric) Monitor() *obs.Monitor { return f.monitor }
+
+// SLO error budgets the monitor burns against: the tolerated
+// deadline-miss fraction per class. Latency traffic gets the tight
+// budget; throughput traffic the loose one.
+const (
+	latencySLOBudget    = 0.05
+	throughputSLOBudget = 0.10
+)
+
+// collapseRejectFraction is the short-window rejected/submitted
+// fraction past which admission is collapsing: the gate is answering
+// "no" to most of the offered load.
+const collapseRejectFraction = 0.5
+
+// stormFloorHitsPerTick is the short-window floor-hit rate (per
+// sampling tick) past which deferred GC is storming through its leases.
+const stormFloorHitsPerTick = 2
+
+// proximityHeadroomPages is the min-headroom gauge level (pages) at or
+// below which the free pool is scraping the hard floor.
+const proximityHeadroomPages = 4
+
+// startTelemetry assembles the continuous-monitoring layer when
+// configured: the sampler with probes over every fabric ledger, the
+// monitor with its derived-alert watches, event sinks in the acting
+// layers, and the registry sources that expose both. Runs after the
+// fabric is fully built; the first tick fires one sampling interval
+// into serving.
+func (f *Fabric) startTelemetry() {
+	if !f.cfg.Sample.Enabled {
+		return
+	}
+	f.sampler = obs.NewSampler(f.cfg.Sample.Interval, f.cfg.Sample.Capacity)
+	f.attachProbes()
+	if f.cfg.Monitor.Enabled {
+		f.monitor = obs.NewMonitor(f.sampler, f.tracer, f.cfg.Monitor)
+		f.attachWatches()
+		// Event emitters in the acting layers: lease decisions from each
+		// device's scheduler, floor hits and forced collection from each
+		// device's FTL. Migration and autoscale events route through
+		// Monitor()/emitAutoscale at their call sites.
+		for i, g := range f.groups {
+			label := fmt.Sprintf("dev%d", i)
+			if g.sched != nil {
+				g.sched.SetEventSink(f.monitor, label)
+			}
+			if xd, ok := g.dev.(*ssd.Device); ok {
+				xd.SetEventSink(f.monitor)
+			}
+		}
+	}
+	f.registry.Attach("series", func() any { return f.sampler.Dump() })
+	if f.monitor != nil {
+		f.registry.Attach("monitor", func() any { return f.monitor.Snapshot() })
+	}
+	// If a live HTTP exposition exists (deathbench -serve), this fabric
+	// becomes the run it shows.
+	obs.PublishLive(f.registry, f.sampler, f.monitor)
+	f.sampler.Start(f.eng)
+}
+
+// attachProbes registers the standard probe set: fabric-total and
+// per-class counters, the GC-coordination ledger, per-device
+// calibration and observed service times, and per-shard latency
+// histograms (initial shards here; migrated-in replicas add theirs in
+// buildShard).
+func (f *Fabric) attachProbes() {
+	s := f.sampler
+
+	s.AddCounter("fabric.submitted", func() float64 { return float64(f.stats.Totals().Submitted) })
+	s.AddCounter("fabric.admitted", func() float64 { return float64(f.stats.Totals().Admitted) })
+	s.AddCounter("fabric.rejected", func() float64 { return float64(f.stats.Totals().Rejected) })
+	s.AddCounter("fabric.early_dropped", func() float64 { return float64(f.stats.Totals().EarlyDropped) })
+	s.AddCounter("fabric.served", func() float64 { return float64(f.stats.Totals().Served) })
+	s.AddCounter("fabric.missed", func() float64 { return float64(f.stats.Totals().DeadlineMissed) })
+
+	for idx, class := range []sched.Class{sched.LatencySensitive, sched.Throughput} {
+		idx, name := idx, "class."+class.String()
+		s.AddCounter(name+".served", func() float64 { return float64(f.byClass[idx].Served) })
+		s.AddCounter(name+".missed", func() float64 { return float64(f.byClass[idx].Missed) })
+		s.AddCounter(name+".rejected", func() float64 { return float64(f.byClass[idx].Rejected) })
+	}
+
+	s.AddCounter("gc.defers", func() float64 { return float64(f.GCCoord().Defers) })
+	s.AddCounter("gc.floor_hits", func() float64 { return float64(f.GCCoord().FloorHits) })
+	s.AddCounter("gc.refused", func() float64 { return float64(f.GCCoord().Refused) })
+	s.AddCounter("gc.declined", func() float64 { return float64(f.GCCoord().HostDeclined) })
+	s.AddGauge("gc.min_headroom_pages", func() float64 { return float64(f.GCCoord().MinHeadroomPages) })
+
+	for i := 0; i < f.placed; i++ {
+		g, name := f.groups[i], fmt.Sprintf("dev%d", i)
+		s.AddGauge(name+".cal_ratio", func() float64 {
+			r, w := g.stack.CalibratedCosts()
+			if r <= 0 {
+				return 0
+			}
+			return float64(w) / float64(r)
+		})
+		if est := g.stack.ServiceEstimator(); est != nil {
+			for _, svc := range []string{blockdev.SvcRead, blockdev.SvcWrite} {
+				ce := est.Class(svc)
+				s.AddGauge(fmt.Sprintf("%s.svc_%s_us", name, svc), func() float64 {
+					ce.Observe(int64(f.eng.Now()))
+					return ce.EWMA() / 1e3
+				})
+			}
+		}
+	}
+
+	for _, sh := range f.shards {
+		f.attachShardProbes(sh)
+	}
+	if f.tracer != nil {
+		for _, class := range []sched.Class{sched.LatencySensitive, sched.Throughput} {
+			cname := class.String()
+			s.AddHist("trace."+cname, func() *metrics.Histogram {
+				return f.tracer.TotalHist(cname)
+			})
+		}
+	}
+}
+
+// attachShardProbes adds one shard's served-latency histogram to the
+// sampler (interval count/mean/p50/p99/min/stddev sub-series).
+func (f *Fabric) attachShardProbes(sh *Shard) {
+	if f.sampler == nil {
+		return
+	}
+	name := sh.name
+	f.sampler.AddHist(name+".latency", func() *metrics.Histogram {
+		return f.shardLat.Hist(name)
+	})
+}
+
+// attachWatches wires the monitor's derived alerts over the sampled
+// series: per-class SLO burn, per-device write-service drift, GC
+// storming, floor proximity, and admission collapse.
+func (f *Fabric) attachWatches() {
+	m := f.monitor
+	m.WatchSLO("slo.latency", "class.latency.missed", "class.latency.served",
+		latencySLOBudget, sched.LatencySensitive.String())
+	m.WatchSLO("slo.throughput", "class.throughput.missed", "class.throughput.served",
+		throughputSLOBudget, sched.Throughput.String())
+	m.WatchRateFraction(obs.EventAdmissionCollapse, "admission",
+		"fabric.rejected", "fabric.submitted", collapseRejectFraction,
+		sched.LatencySensitive.String())
+	m.WatchCounterRate(obs.EventGCStorm, "gc_storm", "gc.floor_hits",
+		stormFloorHitsPerTick, "")
+	m.WatchGaugeBelow(obs.EventFloorProximity, "floor_headroom",
+		"gc.min_headroom_pages", proximityHeadroomPages, "")
+	if f.cfg.Calibrate {
+		for i := 0; i < f.placed; i++ {
+			name := fmt.Sprintf("dev%d", i)
+			m.WatchDrift(name+".drift", name+".svc_write_us",
+				sched.LatencySensitive.String())
+		}
+	}
+}
+
+// emitAutoscale reports one controller actuation as a health event.
+func (f *Fabric) emitAutoscale(sh *Shard, detail string, value float64) {
+	if f.monitor == nil {
+		return
+	}
+	f.monitor.Emit(obs.HealthEvent{
+		Kind: obs.EventAutoscaleWalk, At: f.eng.Now(), Name: sh.name,
+		Detail: detail, Value: value,
+	})
+}

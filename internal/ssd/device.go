@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/ftl"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -292,6 +293,15 @@ func (d *Device) GCUrgency() ftl.GCUrgency {
 		return pf.GCUrgency()
 	}
 	return ftl.GCRelaxed
+}
+
+// SetEventSink wires a health-event sink for device-side GC
+// coordination moments (floor hits, forced collection), labeled with
+// this device's name. A no-op on devices without controllable GC.
+func (d *Device) SetEventSink(sink obs.EventSink) {
+	if pf := d.pageFTL(); pf != nil {
+		pf.SetEventSink(sink, d.name)
+	}
 }
 
 // GCCoord returns the device-side GC-coordination ledger.

@@ -19,10 +19,11 @@
 //   - a replica placement layer over the fabric: quorum writes,
 //     GC-steered reads, drift-triggered live shard migration;
 //   - an observability spine: per-request trace spans stamped by every
-//     layer, tail-sampled flight recording, and a unified telemetry
-//     registry (package obs);
-//   - the experiment suite E1-E20: E1-E14 regenerate every figure and
-//     quantitative claim in the paper, E15-E20 grow the served system.
+//     layer, tail-sampled flight recording, a unified telemetry
+//     registry, a time-series sampler with an SLO burn-rate and drift
+//     health engine, and live HTTP exposition (package obs);
+//   - the experiment suite E1-E21: E1-E14 regenerate every figure and
+//     quantitative claim in the paper, E15-E21 grow the served system.
 //
 // Quick start:
 //
@@ -323,6 +324,85 @@ func NewTracer(keep int) *Tracer { return obs.NewTracer(keep) }
 // NewTraceRegistry builds an empty telemetry registry.
 func NewTraceRegistry() *TraceRegistry { return obs.NewRegistry() }
 
+// Continuous telemetry (package obs): the time-series sampler, the SLO
+// health engine over it, and live HTTP exposition.
+type (
+	// Sampler snapshots every fabric ledger into per-series rings on
+	// the sim clock, charging zero virtual time.
+	Sampler = obs.Sampler
+	// SampleConfig sizes a Sampler (FabricConfig.Sample).
+	SampleConfig = obs.SampleConfig
+	// SeriesDump is the sampler's full ring state as a JSON artifact.
+	SeriesDump = obs.SeriesDump
+	// SeriesData is one exported series with its points and rates.
+	SeriesData = obs.SeriesData
+	// SeriesPoint is one sample: virtual time and value.
+	SeriesPoint = obs.SeriesPoint
+	// Monitor is the SLO health engine: burn-rate, drift, and
+	// threshold watches over sampled series, plus the typed health
+	// event timeline.
+	Monitor = obs.Monitor
+	// MonitorConfig tunes the health engine (FabricConfig.Monitor).
+	MonitorConfig = obs.MonitorConfig
+	// HealthEvent is one typed occurrence on the health timeline.
+	HealthEvent = obs.HealthEvent
+	// HealthEventKind classifies a health event.
+	HealthEventKind = obs.EventKind
+	// EventSink receives health events; the acting layers hold one.
+	EventSink = obs.EventSink
+	// Exposition serves live telemetry over HTTP (/metrics, /snapshot,
+	// /series, /events).
+	Exposition = obs.Exposition
+)
+
+// Health event kinds.
+const (
+	// EventLeaseGrant: the device granted a GC-deferral lease.
+	EventLeaseGrant = obs.EventLeaseGrant
+	// EventLeaseDecline: the device refused a lease (urgent headroom).
+	EventLeaseDecline = obs.EventLeaseDecline
+	// EventFloorHit: the free-pool floor forced a collection.
+	EventFloorHit = obs.EventFloorHit
+	// EventForcedGC: collection ran despite an active deferral lease.
+	EventForcedGC = obs.EventForcedGC
+	// EventGCStorm: the floor-hit rate crossed its watch threshold.
+	EventGCStorm = obs.EventGCStorm
+	// EventAdmissionCollapse: the reject fraction crossed its threshold.
+	EventAdmissionCollapse = obs.EventAdmissionCollapse
+	// EventFloorProximity: GC headroom dropped below its watch floor.
+	EventFloorProximity = obs.EventFloorProximity
+	// EventDrift: observed service time drifted off its latched baseline.
+	EventDrift = obs.EventDrift
+	// EventSLOBurn: both burn-rate windows exceeded the error budget.
+	EventSLOBurn = obs.EventSLOBurn
+	// EventSLOClear: a firing SLO alert cleared after quiet windows.
+	EventSLOClear = obs.EventSLOClear
+	// EventMigrationStart: a replica began evacuating its device.
+	EventMigrationStart = obs.EventMigrationStart
+	// EventMigrationFinish: the replica set swapped onto the new device.
+	EventMigrationFinish = obs.EventMigrationFinish
+	// EventMigrationAbort: the copy was abandoned; the source stays.
+	EventMigrationAbort = obs.EventMigrationAbort
+	// EventAutoscaleWalk: the SLO controller moved workers or rates.
+	EventAutoscaleWalk = obs.EventAutoscaleWalk
+)
+
+// NewTelemetrySampler builds a sampler with the given period and ring
+// capacity (zeros pick 1ms and 256 points).
+func NewTelemetrySampler(interval Time, capacity int) *Sampler {
+	return obs.NewSampler(interval, capacity)
+}
+
+// NewMonitor builds a health engine over a sampler's series; the
+// tracer may be nil (alerts then carry no span explanations).
+func NewMonitor(sam *Sampler, tracer *Tracer, cfg MonitorConfig) *Monitor {
+	return obs.NewMonitor(sam, tracer, cfg)
+}
+
+// NewExposition returns an HTTP exposition with no sources attached;
+// Set installs a live run's registry, sampler and monitor.
+func NewExposition() *Exposition { return obs.NewExposition() }
+
 // Workloads.
 type (
 	// Workload generates uFLIP-style access patterns.
@@ -349,7 +429,7 @@ func NewWorkload(p WorkloadPattern, span int64, seed uint64) (*Workload, error) 
 
 // Experiments.
 type (
-	// Experiment is one runner from the E1-E20 suite.
+	// Experiment is one runner from the E1-E21 suite.
 	Experiment = experiments.Runner
 	// ExperimentResult is a runner's tables, figures and finding.
 	ExperimentResult = experiments.Result
@@ -365,5 +445,5 @@ const (
 	Full = experiments.Full
 )
 
-// Experiments lists the full E1-E20 suite in paper order.
+// Experiments lists the full E1-E21 suite in paper order.
 func Experiments() []Experiment { return experiments.All }
