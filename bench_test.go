@@ -133,6 +133,14 @@ func BenchmarkE21ContinuousMonitoring(b *testing.B) {
 	benchExperiment(b, experiments.E21ContinuousMonitoring)
 }
 
+// BenchmarkE22DeviceDeath measures the failure domain: a device killed
+// at half-window under full load, groups degrading to their survivors,
+// and the rebuild onto the spare — scored on lost acked writes (zero),
+// time to re-replication and degraded-window p99.
+func BenchmarkE22DeviceDeath(b *testing.B) {
+	benchExperiment(b, experiments.E22DeviceDeath)
+}
+
 // ---- substrate microbenchmarks (real wall-clock cost of the simulator) ----
 
 // BenchmarkSimulatedPageWrite measures simulator throughput for the full

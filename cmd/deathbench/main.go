@@ -1,6 +1,6 @@
-// deathbench runs the full experiment suite (E1-E21): E1-E14 reproduce
+// deathbench runs the full experiment suite (E1-E22): E1-E14 reproduce
 // every figure and quantitative claim of "The Necessary Death of the
-// Block Device Interface", and E15-E21 extend the reproduction with the
+// Block Device Interface", and E15-E22 extend the reproduction with the
 // multi-tenant studies built on the paper's communication abstraction:
 // scheduler isolation (internal/sched), the sharded KV serving fabric
 // with admission control (internal/serve), host→device GC coordination
@@ -9,8 +9,10 @@
 // billing, deadlines, admission and GC leases), replicated shard
 // placement with GC-steered reads and drift-triggered live migration
 // (internal/place), end-to-end request tracing with per-stage
-// tail-latency attribution (internal/obs), and continuous telemetry —
-// the time-series sampler and SLO burn-rate health engine over it.
+// tail-latency attribution (internal/obs), continuous telemetry — the
+// time-series sampler and SLO burn-rate health engine over it — and
+// fault injection (internal/faults): whole-device death under load
+// with degraded serving and rebuild onto a spare.
 // It prints the paper-style tables. docs/EXPERIMENTS.md indexes every
 // experiment with its headline result.
 //

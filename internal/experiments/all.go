@@ -29,4 +29,5 @@ var All = []Runner{
 	{"E19", E19ReplicatedPlacement},
 	{"E20", E20Observability},
 	{"E21", E21ContinuousMonitoring},
+	{"E22", E22DeviceDeath},
 }

@@ -287,8 +287,8 @@ func TestE14MatrixSeparatesGenerations(t *testing.T) {
 }
 
 func TestAllRunnersListed(t *testing.T) {
-	if len(All) != 21 {
-		t.Fatalf("All has %d runners, want 21", len(All))
+	if len(All) != 22 {
+		t.Fatalf("All has %d runners, want 22", len(All))
 	}
 	seen := map[string]bool{}
 	for _, r := range All {

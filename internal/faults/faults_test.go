@@ -1,0 +1,138 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// recorder is a Target that logs calls instead of failing hardware.
+type recorder struct {
+	devices, chips int
+	calls          []Injection
+}
+
+func (r *recorder) Devices() int  { return r.devices }
+func (r *recorder) Chips(int) int { return r.chips }
+func (r *recorder) KillDevice(d int) {
+	r.calls = append(r.calls, Injection{Kind: KillDevice, Device: d})
+}
+func (r *recorder) StallDevice(d int, dur sim.Time) {
+	r.calls = append(r.calls, Injection{Kind: StallDevice, Device: d, Duration: dur})
+}
+func (r *recorder) SlowDevice(d int, read, program, erase float64) {
+	r.calls = append(r.calls, Injection{Kind: SlowDevice, Device: d, Read: read, Program: program, Erase: erase})
+}
+func (r *recorder) KillChip(d, c int) {
+	r.calls = append(r.calls, Injection{Kind: KillChip, Device: d, Chip: c})
+}
+func (r *recorder) StallChip(d, c int, dur sim.Time) {
+	r.calls = append(r.calls, Injection{Kind: StallChip, Device: d, Chip: c, Duration: dur})
+}
+func (r *recorder) SlowChip(d, c int, read, program, erase float64) {
+	r.calls = append(r.calls, Injection{Kind: SlowChip, Device: d, Chip: c, Read: read, Program: program, Erase: erase})
+}
+
+func TestRandomPlanDeterministic(t *testing.T) {
+	cfg := PlanConfig{Devices: 4, Chips: 8, Injections: 12, MaxKills: 2}
+	for seed := uint64(1); seed < 20; seed++ {
+		a := RandomPlan(seed, cfg)
+		b := RandomPlan(seed, cfg)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two draws differ:\n%v\n%v", seed, a, b)
+		}
+		if len(a) != cfg.Injections {
+			t.Fatalf("seed %d: %d injections, want %d", seed, len(a), cfg.Injections)
+		}
+		kills := 0
+		for _, inj := range a {
+			if inj.Kind == KillDevice {
+				kills++
+				if inj.Frac > 0.6 {
+					t.Fatalf("seed %d: kill at fraction %v, want <= 0.6 so repair has runway", seed, inj.Frac)
+				}
+			}
+		}
+		if kills > cfg.MaxKills {
+			t.Fatalf("seed %d: %d kills, cap %d", seed, kills, cfg.MaxKills)
+		}
+	}
+	if !reflect.DeepEqual(RandomPlan(7, cfg), RandomPlan(7, cfg)) {
+		t.Fatal("same seed must draw the same plan")
+	}
+	if reflect.DeepEqual(RandomPlan(7, cfg), RandomPlan(8, cfg)) {
+		t.Fatal("different seeds should draw different plans")
+	}
+}
+
+func TestRandomPlanValidates(t *testing.T) {
+	rec := &recorder{devices: 4, chips: 8}
+	cfg := PlanConfig{Devices: rec.devices, Chips: rec.chips, Injections: 16, MaxKills: 3}
+	for seed := uint64(0); seed < 50; seed++ {
+		if err := RandomPlan(seed, cfg).Validate(rec); err != nil {
+			t.Fatalf("seed %d: generated plan invalid: %v", seed, err)
+		}
+	}
+	// No chips configured: chip faults must not be drawn.
+	for seed := uint64(0); seed < 20; seed++ {
+		for _, inj := range RandomPlan(seed, PlanConfig{Devices: 2, Injections: 8}) {
+			switch inj.Kind {
+			case KillChip, StallChip, SlowChip:
+				t.Fatalf("seed %d: chip fault %s drawn with Chips=0", seed, inj.Kind)
+			}
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	rec := &recorder{devices: 2, chips: 4}
+	bad := []struct {
+		name string
+		pl   Plan
+	}{
+		{"device out of range", Plan{{Kind: KillDevice, Device: 2}}},
+		{"negative device", Plan{{Kind: KillDevice, Device: -1}}},
+		{"chip out of range", Plan{{Kind: KillChip, Device: 0, Chip: 4}}},
+		{"fraction above one", Plan{{Kind: KillDevice, Device: 0, Frac: 1.5}}},
+		{"stall without duration", Plan{{Kind: StallDevice, Device: 0}}},
+		{"slow without factors", Plan{{Kind: SlowChip, Device: 0, Chip: 0, Frac: 0.5}}},
+	}
+	for _, tc := range bad {
+		if err := tc.pl.Validate(rec); err == nil {
+			t.Errorf("%s: Validate accepted %v", tc.name, tc.pl)
+		}
+	}
+	if err := (Plan{}).Validate(rec); err != nil {
+		t.Errorf("empty plan must validate: %v", err)
+	}
+}
+
+func TestInjectorFiresOnSchedule(t *testing.T) {
+	eng := sim.NewEngine()
+	rec := &recorder{devices: 2, chips: 4}
+	in := NewInjector(eng, rec)
+	horizon := 10 * sim.Millisecond
+	pl := Plan{
+		{Kind: StallDevice, Device: 0, Frac: 0.25, Duration: sim.Millisecond},
+		{Kind: KillDevice, Device: 1, Frac: 0.5},
+		{Kind: SlowChip, Device: 0, Chip: 3, At: 9 * sim.Millisecond, Read: 2, Program: 2, Erase: 2},
+	}
+	if err := in.Arm(pl, 0, horizon); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if len(rec.calls) != 3 {
+		t.Fatalf("%d target calls, want 3: %v", len(rec.calls), rec.calls)
+	}
+	if rec.calls[0].Kind != StallDevice || rec.calls[1].Kind != KillDevice || rec.calls[2].Kind != SlowChip {
+		t.Fatalf("firing order wrong: %v", rec.calls)
+	}
+	if got := in.Fired(); len(got) != 3 {
+		t.Fatalf("Fired logged %d, want 3", len(got))
+	}
+	// Arming an invalid plan must refuse before anything schedules.
+	if err := in.Arm(Plan{{Kind: KillDevice, Device: 9}}, 0, horizon); err == nil {
+		t.Fatal("Arm accepted an out-of-range device")
+	}
+}

@@ -79,6 +79,19 @@ type Chip struct {
 	// composes from a fixed origin instead of compounding.
 	baseTiming Timing
 
+	// failed marks a dead die (fault injection): every program and erase
+	// reports a status failure, every read comes back with an
+	// uncorrectable raw bit-error count. The chip still accepts and
+	// times operations — a dead die answers the bus, it just answers
+	// wrong — so the FTL's own failure handling (block retirement, ECC
+	// rejection) is what surfaces the death.
+	failed bool
+	// stallUntil freezes the chip (firmware hang, fault injection):
+	// operations submitted before it do not begin occupying their LUN
+	// until it passes. In-flight operations keep the completion they
+	// started with.
+	stallUntil sim.Time
+
 	stats Stats
 }
 
@@ -132,6 +145,31 @@ func (c *Chip) SetTimingScale(read, program, erase float64) {
 	c.spec.Timing.EraseBlock = scale(c.baseTiming.EraseBlock, erase)
 }
 
+// Fail kills the die: from now on programs and erases report status
+// failures and reads return uncorrectable bit-error counts. There is no
+// recovery — chip death models a failed die, not a transient.
+func (c *Chip) Fail() { c.failed = true }
+
+// Failed reports whether the die has been killed.
+func (c *Chip) Failed() bool { return c.failed }
+
+// Stall freezes the chip until the given virtual time: operations
+// submitted before then queue behind the stall instead of starting.
+// Later stalls extend, earlier ones never shorten.
+func (c *Chip) Stall(until sim.Time) {
+	if until > c.stallUntil {
+		c.stallUntil = until
+	}
+}
+
+// ready chains an operation's LUN occupancy behind any active stall.
+func (c *Chip) ready(t sim.Time) sim.Time {
+	if c.stallUntil > t {
+		return c.stallUntil
+	}
+	return t
+}
+
 // Geometry returns the chip's layout.
 func (c *Chip) Geometry() Geometry { return c.spec.Geometry }
 
@@ -181,7 +219,7 @@ func (c *Chip) Read(a Addr, done func(ReadResult, error)) error {
 	pg := &blk.pages[a.Page]
 	c.stats.Reads++
 	wear := blk.eraseCount
-	c.luns[a.LUN].srv.Use(c.spec.Timing.ReadPage, "read", func(_, _ sim.Time) {
+	c.luns[a.LUN].srv.UseFrom(c.ready(c.eng.Now()), c.spec.Timing.ReadPage, "read", func(_, _ sim.Time) {
 		if pg.state != PageProgrammed {
 			done(ReadResult{}, fmt.Errorf("%w: %v", ErrNotProgrammed, a))
 			return
@@ -247,7 +285,7 @@ func (c *Chip) ProgramFrom(ready sim.Time, a Addr, data, oob []byte, done func(o
 	}
 	c.stats.Programs++
 	fail := c.wearFailure(blk.eraseCount)
-	c.luns[a.LUN].srv.UseFrom(ready, c.spec.Timing.ProgramPage, "prog", func(_, _ sim.Time) {
+	c.luns[a.LUN].srv.UseFrom(c.ready(ready), c.spec.Timing.ProgramPage, "prog", func(_, _ sim.Time) {
 		if fail {
 			c.stats.ProgramFails++
 			done(false)
@@ -277,7 +315,7 @@ func (c *Chip) EraseFrom(ready sim.Time, b BlockAddr, done func(ok bool)) error 
 	blk.eraseCount++
 	fail := c.wearFailure(blk.eraseCount)
 	c.stats.Erases++
-	c.luns[b.LUN].srv.UseFrom(ready, c.spec.Timing.EraseBlock, "erase", func(_, _ sim.Time) {
+	c.luns[b.LUN].srv.UseFrom(c.ready(ready), c.spec.Timing.EraseBlock, "erase", func(_, _ sim.Time) {
 		if fail {
 			c.stats.EraseFails++
 			blk.bad = true
@@ -332,7 +370,7 @@ func (c *Chip) CopyBack(src, dst Addr, done func(ok bool)) error {
 	c.stats.Programs++
 	fail := c.wearFailure(dblk.eraseCount)
 	dur := c.spec.Timing.ReadPage + c.spec.Timing.ProgramPage
-	c.luns[src.LUN].srv.Use(dur, "copyback", func(_, _ sim.Time) {
+	c.luns[src.LUN].srv.UseFrom(c.ready(c.eng.Now()), dur, "copyback", func(_, _ sim.Time) {
 		if fail {
 			c.stats.ProgramFails++
 			done(false)
@@ -362,6 +400,9 @@ func (c *Chip) PageStateAt(a Addr) PageState {
 // Below rated cycles the probability is negligible; past the rating it
 // climbs steeply.
 func (c *Chip) wearFailure(eraseCount int) bool {
+	if c.failed {
+		return true
+	}
 	if c.rng == nil {
 		return false
 	}
@@ -384,6 +425,10 @@ func (c *Chip) wearFailure(eraseCount int) bool {
 // sampleBitErrors draws the raw bit error count for a read from a block
 // with the given wear, using a Poisson approximation of the binomial.
 func (c *Chip) sampleBitErrors(eraseCount int) int {
+	if c.failed {
+		// A dead die's raw read-back is garbage: no ECC corrects it.
+		return c.spec.Geometry.PageSize * 8
+	}
 	if c.rng == nil {
 		return 0
 	}

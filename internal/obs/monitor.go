@@ -11,10 +11,10 @@ import (
 // EventKind classifies a health event.
 type EventKind int
 
-// The event taxonomy. Lease, floor, forced-GC, migration, and
-// autoscale events are emitted by the layer that acts (sched, ftl,
-// place, serve); storm, collapse, proximity, drift, and burn events
-// are derived by the Monitor from sampled ledger deltas.
+// The event taxonomy. Lease, floor, forced-GC, migration, autoscale,
+// device-down, and repair events are emitted by the layer that acts
+// (sched, ftl, place, serve); storm, collapse, proximity, drift, and
+// burn events are derived by the Monitor from sampled ledger deltas.
 const (
 	EventLeaseGrant EventKind = iota
 	EventLeaseDecline
@@ -30,6 +30,10 @@ const (
 	EventMigrationFinish
 	EventMigrationAbort
 	EventAutoscaleWalk
+	EventDeviceDown
+	EventRepairStart
+	EventRepairDone
+	EventRepairAbort
 	numEventKinds
 )
 
@@ -39,6 +43,7 @@ var eventKindNames = [numEventKinds]string{
 	"slo_burn", "slo_clear",
 	"migration_start", "migration_finish", "migration_abort",
 	"autoscale_walk",
+	"device_down", "repair_start", "repair_done", "repair_abort",
 }
 
 // String names the kind for rendering and JSON.

@@ -21,6 +21,12 @@ type Group struct {
 	inflight int         // quorum writes submitted, not yet fully settled
 	drain    []*sim.Cond // procs awaiting inflight == 0 (cutover)
 	mig      *migration  // non-nil while this group's shard is moving
+
+	// Under-replication clock: degraded is set when a device death drops
+	// the group below full replication, degradedSince stamps when — the
+	// window the repair ledger charges when the rebuild lands.
+	degraded      bool
+	degradedSince sim.Time
 }
 
 // heldOp is a write parked during a migration cutover.
@@ -50,6 +56,10 @@ func (g *Group) Replicas() []*serve.Shard { return g.replicas }
 // Migrating reports whether the group has a replica move in flight.
 func (g *Group) Migrating() bool { return g.mig != nil }
 
+// Degraded reports whether the group is serving below full replication
+// (a device death dropped a replica that has not been rebuilt yet).
+func (g *Group) Degraded() bool { return g.degraded }
+
 // Ledger returns the group's steering and quorum accounting.
 func (g *Group) Ledger() metrics.PlaceLedger { return g.led }
 
@@ -64,11 +74,23 @@ func (g *Group) Systems() []*kvstore.System {
 }
 
 // Submit implements serve.Target: reads steer, writes commit on every
-// replica before the ack.
+// replica before the ack. A group with no live replica left refuses
+// loudly with ErrDeviceDown — unavailability is an error the client
+// sees, never a silently dropped request.
 func (g *Group) Submit(op serve.Op, done func(error)) {
+	if len(g.replicas) == 0 {
+		g.pl.repled.Unavailable++
+		if done != nil {
+			done(serve.ErrDeviceDown)
+		}
+		return
+	}
 	if op.Kind == serve.OpPut {
 		g.submitWrite(op, done)
 		return
+	}
+	if g.degraded {
+		g.pl.repled.DegradedReads++
 	}
 	sh, steered, avoided := g.steer()
 	if steered {
@@ -130,6 +152,13 @@ func (g *Group) steer() (pick *serve.Shard, steered, avoidedGC bool) {
 // write parks until the new replica set is live.
 func (g *Group) submitWrite(op serve.Op, done func(error)) {
 	fab := g.pl.fab
+	if len(g.replicas) == 0 {
+		g.pl.repled.Unavailable++
+		if done != nil {
+			done(serve.ErrDeviceDown)
+		}
+		return
+	}
 	if fab.Stopped() || fab.Crashing() {
 		// The shard path reports the right terminal error without
 		// applying anything.
@@ -155,6 +184,12 @@ func (g *Group) submitWrite(op serve.Op, done func(error)) {
 		}
 	}
 	g.led.QuorumWrites++
+	if g.degraded {
+		// Committed on fewer replicas than configured: acked, durable on
+		// the survivors, but one more death away from unavailable — the
+		// exposure the repair ledger totals.
+		g.pl.repled.DegradedWrites++
+	}
 	g.inflight++
 	remaining := len(g.replicas)
 	var werr error
@@ -232,4 +267,59 @@ func (g *Group) releaseHeld(held []heldOp) {
 		g.led.HoldNs += int64(now - h.at)
 		g.submitWrite(h.op, h.done)
 	}
+}
+
+// contains reports whether sh is in the replica set.
+func (g *Group) contains(sh *serve.Shard) bool {
+	for _, r := range g.replicas {
+		if r == sh {
+			return true
+		}
+	}
+	return false
+}
+
+// dropReplica removes sh from the replica set (no retire, no copy —
+// the bookkeeping half of losing a replica). It reports whether sh was
+// a member.
+func (g *Group) dropReplica(sh *serve.Shard) bool {
+	for i, r := range g.replicas {
+		if r == sh {
+			g.replicas = append(g.replicas[:i], g.replicas[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// deviceDown handles device d's death for this group: replicas there
+// leave the set immediately (the group serves degraded from the
+// survivors — or refuses, loudly, if none remain), and the
+// under-replication clock starts. The Mover's poll finds the group
+// below strength and rebuilds it onto a spare.
+func (g *Group) deviceDown(d int, now sim.Time) {
+	for i := 0; i < len(g.replicas); {
+		if g.replicas[i].DeviceIndex() != d {
+			i++
+			continue
+		}
+		if !g.degraded {
+			g.degraded = true
+			g.degradedSince = now
+		}
+		g.pl.repled.ReplicasLost++
+		g.replicas = append(g.replicas[:i], g.replicas[i+1:]...)
+	}
+}
+
+// restored settles the under-replication clock once the replica set is
+// back at full strength (a completed repair, or a migration that
+// doubled as one).
+func (g *Group) restored(now sim.Time) {
+	if !g.degraded || len(g.replicas) < g.pl.replicas {
+		return
+	}
+	g.degraded = false
+	g.pl.repled.Repairs++
+	g.pl.repled.RepairNs += int64(now - g.degradedSince)
 }

@@ -149,6 +149,19 @@ func (m *Mover) run(p *sim.Proc) {
 // demand, serially.
 func (m *Mover) poll(p *sim.Proc) {
 	now := int64(p.Now())
+	// Repair outranks every performance trigger: a group running below
+	// full replication is one more death from unavailable, so rebuilds
+	// go first. A group that found no destination (spare slots
+	// exhausted) is retried every poll and rebuilds the moment a slot
+	// frees.
+	for _, g := range m.pl.groups {
+		if m.pl.fab.Stopped() {
+			return
+		}
+		if len(g.replicas) > 0 && len(g.replicas) < m.pl.replicas && g.mig == nil {
+			m.repair(p, g)
+		}
+	}
 	// Drift: a tripped device is evacuated — every group with a replica
 	// there moves it elsewhere. The evacuation flag persists, and every
 	// poll retries whatever is still stranded on the device: a replica
@@ -216,9 +229,13 @@ func (m *Mover) poll(p *sim.Proc) {
 }
 
 // destination picks the device for g's new replica: not a device the
-// group already occupies, with a free region slot, healthiest first
-// (spares usually win — they are idle), free slots breaking ties.
-func (m *Mover) destination(g *Group, src *serve.Shard) (int, error) {
+// group already occupies, not dead, not under evacuation, with a free
+// region slot, healthiest first (spares usually win — they are idle),
+// free slots breaking ties. The dead-device check matters even though
+// a dead device keeps its slots: a *repair* destination search runs
+// while the ex-replica's device no longer appears in g.replicas, so
+// only DeviceDown keeps the rebuild off the device that just died.
+func (m *Mover) destination(g *Group) (int, error) {
 	taken := map[int]bool{}
 	for _, sh := range g.replicas {
 		taken[sh.DeviceIndex()] = true
@@ -226,7 +243,7 @@ func (m *Mover) destination(g *Group, src *serve.Shard) (int, error) {
 	best, bestFree := -1, 0
 	var bestScore devScore
 	for d := 0; d < m.pl.fab.Devices(); d++ {
-		if taken[d] || m.evac[d] {
+		if taken[d] || m.evac[d] || m.pl.fab.DeviceDown(d) {
 			continue
 		}
 		free := m.pl.fab.FreeSlots(d)
@@ -239,9 +256,28 @@ func (m *Mover) destination(g *Group, src *serve.Shard) (int, error) {
 		}
 	}
 	if best < 0 {
-		return 0, fmt.Errorf("place: no destination device for logical shard %d (replica on device %d)", g.idx, src.DeviceIndex())
+		return 0, fmt.Errorf("place: no destination device for logical shard %d", g.idx)
 	}
 	return best, nil
+}
+
+// copySource picks the replica a copy streams from: the healthiest
+// member excluding skip (the replica being moved — it streams only
+// when it is the group's sole member).
+func (m *Mover) copySource(g *Group, skip *serve.Shard) *serve.Shard {
+	var from *serve.Shard
+	for _, sh := range g.replicas {
+		if sh == skip {
+			continue
+		}
+		if from == nil || m.pl.deviceScore(sh.DeviceIndex()).less(m.pl.deviceScore(from.DeviceIndex())) {
+			from = sh
+		}
+	}
+	if from == nil {
+		return skip
+	}
+	return from
 }
 
 // migrate moves g's replica src to a fresh shard elsewhere while the
@@ -253,7 +289,7 @@ func (m *Mover) migrate(p *sim.Proc, g *Group, src *serve.Shard) {
 	if g.mig != nil || m.pl.fab.Stopped() {
 		return
 	}
-	d, err := m.destination(g, src)
+	d, err := m.destination(g)
 	if err != nil {
 		// Nowhere to go: not an error loop, just nothing to do now.
 		return
@@ -271,15 +307,11 @@ func (m *Mover) migrate(p *sim.Proc, g *Group, src *serve.Shard) {
 	// is identical on all of them, and the device being evacuated is
 	// the last one that should stream a whole region, so src is only
 	// read when it is the group's sole replica.
-	from := src
-	for _, sh := range g.replicas {
-		if sh == src {
-			continue
-		}
-		if from == src || m.pl.deviceScore(sh.DeviceIndex()).less(m.pl.deviceScore(from.DeviceIndex())) {
-			from = sh
-		}
-	}
+	from := m.copySource(g, src)
+
+	// As in repair: a copy source whose device died cannot be trusted to
+	// feed the new replica, even while host RAM still answers for it.
+	srcLost := func() bool { return m.pl.fab.DeviceDown(from.DeviceIndex()) }
 
 	abort := func() {
 		held := mig.held
@@ -295,14 +327,14 @@ func (m *Mover) migrate(p *sim.Proc, g *Group, src *serve.Shard) {
 
 	copied, err := from.System().Store.CopyInto(p, dst.System().Store, m.cfg.CopyBatch)
 	m.led.CopiedKeys += copied
-	if err != nil || m.pl.fab.Stopped() {
+	if err != nil || srcLost() || m.pl.fab.Stopped() {
 		abort()
 		return
 	}
 	// Delta catch-up: re-copy what the write path touched while the
 	// bulk copy ran; repeat while the delta stays large, bounded.
 	for round := 0; round < m.cfg.CatchupRounds && len(mig.dirty) > m.cfg.CatchupThreshold; round++ {
-		if err := m.copyDelta(p, g, from, dst, mig); err != nil || m.pl.fab.Stopped() {
+		if err := m.copyDelta(p, g, from, dst, mig); err != nil || srcLost() || m.pl.fab.Stopped() {
 			abort()
 			return
 		}
@@ -311,7 +343,7 @@ func (m *Mover) migrate(p *sim.Proc, g *Group, src *serve.Shard) {
 	// the final delta lands, the replica set swaps.
 	mig.cutover = true
 	g.awaitWrites(p)
-	if err := m.copyDelta(p, g, from, dst, mig); err != nil || m.pl.fab.Stopped() {
+	if err := m.copyDelta(p, g, from, dst, mig); err != nil || srcLost() || m.pl.fab.Stopped() {
 		abort()
 		return
 	}
@@ -319,14 +351,105 @@ func (m *Mover) migrate(p *sim.Proc, g *Group, src *serve.Shard) {
 		abort()
 		return
 	}
-	g.swap(src, dst)
-	m.pl.fab.Retire(src)
+	if g.contains(src) {
+		g.swap(src, dst)
+		m.pl.fab.Retire(src)
+	} else {
+		// src's device died mid-copy and deviceDown already dropped it:
+		// the migration just became the rebuild, so the new replica joins
+		// instead of swapping in.
+		g.replicas = append(g.replicas, dst)
+	}
 	held := mig.held
 	mig.held = nil
 	g.mig = nil
+	g.restored(p.Now())
 	m.led.Migrations++
 	m.event(p, obs.EventMigrationFinish, g, fmt.Sprintf(
 		"replica settled on device %d; %d keys bulk-copied", d, copied))
+	g.releaseHeld(held)
+}
+
+// repair rebuilds a group running below full replication: a fresh
+// replica is carved on the healthiest live device with a free slot,
+// bulk-copied from the healthiest survivor's snapshot, caught up
+// through the delta ledger, and joined to the replica set under a
+// cutover hold — the migration machinery with no source to retire.
+// Death of the last survivor mid-copy aborts loudly: the copy errors,
+// the half-built replica retires, and the group refuses requests with
+// ErrDeviceDown rather than serving a partial store.
+func (m *Mover) repair(p *sim.Proc, g *Group) {
+	if g.mig != nil || m.pl.fab.Stopped() {
+		return
+	}
+	d, err := m.destination(g)
+	if err != nil {
+		// Spare slots exhausted: the group stays degraded, counted, and
+		// rebuilds the moment a slot frees.
+		m.pl.repled.RepairStalls++
+		return
+	}
+	dst, err := m.pl.fab.AddReplica(p, g.idx, d)
+	if err != nil {
+		m.pl.repled.RepairStalls++
+		return
+	}
+	mig := &migration{dst: dst, dirty: map[string]struct{}{}}
+	g.mig = mig
+	m.event(p, obs.EventRepairStart, g, fmt.Sprintf(
+		"rebuilding lost replica on device %d from %d survivor(s)", d, len(g.replicas)))
+
+	from := m.copySource(g, nil)
+
+	// srcLost: the survivor feeding this rebuild died. Host RAM may
+	// still answer reads for its store, but nothing behind those pages
+	// is durable anymore and the delta keys may exist nowhere else —
+	// finishing the rebuild from a dead source would be silent loss, so
+	// it aborts loudly instead.
+	srcLost := func() bool { return m.pl.fab.DeviceDown(from.DeviceIndex()) }
+
+	abort := func() {
+		held := mig.held
+		mig.held = nil
+		g.mig = nil
+		m.pl.fab.Retire(dst)
+		m.pl.repled.RepairsAborted++
+		m.event(p, obs.EventRepairAbort, g, fmt.Sprintf(
+			"rebuild on device %d abandoned; group stays at %d replica(s)", d, len(g.replicas)))
+		g.releaseHeld(held)
+	}
+
+	copied, err := from.System().Store.CopyInto(p, dst.System().Store, m.cfg.CopyBatch)
+	m.led.CopiedKeys += copied
+	if err != nil || srcLost() || m.pl.fab.Stopped() {
+		abort()
+		return
+	}
+	for round := 0; round < m.cfg.CatchupRounds && len(mig.dirty) > m.cfg.CatchupThreshold; round++ {
+		if err := m.copyDelta(p, g, from, dst, mig); err != nil || srcLost() || m.pl.fab.Stopped() {
+			abort()
+			return
+		}
+	}
+	// Cutover: writes accepted during the rebuild hold, in-flight ones
+	// settle, the last delta lands, the rebuilt replica joins.
+	mig.cutover = true
+	g.awaitWrites(p)
+	if err := m.copyDelta(p, g, from, dst, mig); err != nil || srcLost() || m.pl.fab.Stopped() {
+		abort()
+		return
+	}
+	if err := dst.System().Store.Checkpoint(p); err != nil {
+		abort()
+		return
+	}
+	g.replicas = append(g.replicas, dst)
+	held := mig.held
+	mig.held = nil
+	g.mig = nil
+	g.restored(p.Now())
+	m.event(p, obs.EventRepairDone, g, fmt.Sprintf(
+		"replica rebuilt on device %d; %d keys copied from survivor", d, copied))
 	g.releaseHeld(held)
 }
 
@@ -339,11 +462,22 @@ func (m *Mover) event(p *sim.Proc, kind obs.EventKind, g *Group, detail string) 
 	})
 }
 
-// copyDelta drains the migration's dirty set once: the current keys
-// are re-read from the copy source and written to the destination in
-// batches; keys written while this pass runs land in a fresh dirty set
-// for the next pass (or the cutover's final one).
+// copyDelta drains the migration's dirty set once, charging the
+// mover's catch-up ledger.
 func (m *Mover) copyDelta(p *sim.Proc, g *Group, from, dst *serve.Shard, mig *migration) error {
+	n, err := m.pl.copyDelta(p, from, dst, mig, m.cfg.CopyBatch)
+	m.led.CatchupRounds++
+	m.led.DeltaKeys += n
+	return err
+}
+
+// copyDelta drains mig's dirty set once: the current keys are re-read
+// from the copy source and written to the destination in batches; keys
+// written while this pass runs land in a fresh dirty set for the next
+// pass (or the cutover's final one). It returns the keys copied. It is
+// placement-level, not mover-level, because crash resync
+// (Placement.CrashDevice) catches up a reopened replica the same way.
+func (pl *Placement) copyDelta(p *sim.Proc, from, dst *serve.Shard, mig *migration, batch int) (int64, error) {
 	keys := make([]string, 0, len(mig.dirty))
 	for k := range mig.dirty {
 		keys = append(keys, k)
@@ -352,9 +486,9 @@ func (m *Mover) copyDelta(p *sim.Proc, g *Group, from, dst *serve.Shard, mig *mi
 	// issues the same I/O sequence.
 	sort.Strings(keys)
 	mig.dirty = map[string]struct{}{}
-	m.led.CatchupRounds++
-	for i := 0; i < len(keys); i += m.cfg.CopyBatch {
-		end := i + m.cfg.CopyBatch
+	var copied int64
+	for i := 0; i < len(keys); i += batch {
+		end := i + batch
 		if end > len(keys) {
 			end = len(keys)
 		}
@@ -366,17 +500,17 @@ func (m *Mover) copyDelta(p *sim.Proc, g *Group, from, dst *serve.Shard, mig *mi
 				continue // written but rejected everywhere, or deleted
 			}
 			if err != nil {
-				return err
+				return copied, err
 			}
 			tx.Put([]byte(k), v)
 			n++
-			m.led.DeltaKeys++
+			copied++
 		}
 		if n > 0 {
 			if err := tx.Commit(p); err != nil {
-				return err
+				return copied, err
 			}
 		}
 	}
-	return nil
+	return copied, nil
 }

@@ -7,16 +7,22 @@ import (
 	"repro/internal/ftl"
 	"repro/internal/metrics"
 	"repro/internal/serve"
+	"repro/internal/sim"
 )
 
 // Placement groups a replicated fabric's physical shards into replica
 // groups and serves as the frontend's router: one routing target per
 // logical shard, quorum writes and steered reads inside each.
 type Placement struct {
-	fab     *serve.Fabric
-	groups  []*Group
-	targets []serve.Target
-	mover   *Mover
+	fab      *serve.Fabric
+	groups   []*Group
+	targets  []serve.Target
+	mover    *Mover
+	replicas int // configured replication factor (full strength)
+
+	// repled is the failure-domain ledger: device deaths, the degraded
+	// window they open, and what the repair machinery did about them.
+	repled metrics.RepairLedger
 }
 
 // New builds the placement over a fabric assembled with
@@ -25,7 +31,7 @@ type Placement struct {
 // guarantees; the check here catches fabrics modified since.
 func New(f *serve.Fabric) (*Placement, error) {
 	cfg := f.Config()
-	pl := &Placement{fab: f}
+	pl := &Placement{fab: f, replicas: cfg.Replicas}
 	pl.groups = make([]*Group, cfg.Shards)
 	for i := range pl.groups {
 		pl.groups[i] = &Group{pl: pl, idx: i}
@@ -58,14 +64,34 @@ func New(f *serve.Fabric) (*Placement, error) {
 	// sampler — the headline steering counters become time series too,
 	// so migration activity lines up against latency on one clock.
 	f.Registry().Attach("place_ledger", func() any { return pl.Ledger() })
+	f.Registry().Attach("repair_ledger", func() any { return pl.repled })
 	if s := f.Sampler(); s != nil {
 		s.AddCounter("place.steered_reads", func() float64 { return float64(pl.Ledger().SteeredReads) })
 		s.AddCounter("place.avoided_gc", func() float64 { return float64(pl.Ledger().AvoidedGC) })
 		s.AddCounter("place.migrations", func() float64 { return float64(pl.Ledger().Migrations) })
 		s.AddCounter("place.migrations_aborted", func() float64 { return float64(pl.Ledger().MigrationsAborted) })
+		s.AddCounter("place.device_deaths", func() float64 { return float64(pl.repled.DeviceDeaths) })
+		s.AddCounter("place.replicas_lost", func() float64 { return float64(pl.repled.ReplicasLost) })
+		s.AddCounter("place.degraded_writes", func() float64 { return float64(pl.repled.DegradedWrites) })
+		s.AddCounter("place.repairs", func() float64 { return float64(pl.repled.Repairs) })
+		s.AddCounter("place.repairs_aborted", func() float64 { return float64(pl.repled.RepairsAborted) })
 	}
+	// Subscribe to device deaths: the fabric has already downed the dead
+	// device's shards when this fires, so dropping them from their groups
+	// completes the degrade — reads steer to survivors, quorum shrinks,
+	// and the Mover's next poll starts the rebuild.
+	f.OnDeviceDown(func(d int) {
+		pl.repled.DeviceDeaths++
+		now := f.Engine().Now()
+		for _, g := range pl.groups {
+			g.deviceDown(d, now)
+		}
+	})
 	return pl, nil
 }
+
+// RepairLedger returns the placement's failure-domain accounting.
+func (pl *Placement) RepairLedger() metrics.RepairLedger { return pl.repled }
 
 // Targets implements serve.Router: one stable target per logical
 // shard. Group membership changes under migration, but the table —
@@ -99,6 +125,97 @@ func (pl *Placement) Ledger() metrics.PlaceLedger {
 		l.Add(pl.mover.led)
 	}
 	return l
+}
+
+// CrashDevice models sudden power loss and restart of device d under
+// replication — the fix for the volatile-ack trap at quorum scope. A
+// quorum-acked write may have been volatile-buffered on the crashing
+// replica and lost with the power, but quorum means every replica
+// completed it before the ack, so each survivor holds it; the reopened
+// replica therefore must not serve until it has resynced from a
+// survivor. The sequence, all before any simulated time passes: the
+// crashed replicas leave their groups (no read steers at a store about
+// to reopen behind its peers) and a delta ledger starts recording the
+// writes the survivors keep serving; then the device crashes and its
+// shards reopen; then each reopened replica is bulk-copied and caught
+// up from its group's healthiest survivor and rejoins under a cutover
+// hold. A group with no survivor gets its reopened replica back as-is:
+// at R=1 the volatile-ack loss is the device's own durability trap
+// (E7), not replication's.
+func (pl *Placement) CrashDevice(p *sim.Proc, d int) error {
+	type hit struct {
+		g  *Group
+		sh *serve.Shard
+	}
+	var hits []hit
+	for _, g := range pl.groups {
+		for _, sh := range g.replicas {
+			if sh.DeviceIndex() != d {
+				continue
+			}
+			if g.mig != nil {
+				return fmt.Errorf("place: group %d is mid-migration; crash of device %d unsupported until it settles", g.idx, d)
+			}
+			hits = append(hits, hit{g, sh})
+			break
+		}
+	}
+	for _, h := range hits {
+		h.g.dropReplica(h.sh)
+		h.g.mig = &migration{dst: h.sh, dirty: map[string]struct{}{}}
+	}
+	if err := pl.fab.CrashDevice(p, d); err != nil {
+		return err
+	}
+	const batch = 8
+	for _, h := range hits {
+		g, dst := h.g, h.sh
+		mig := g.mig
+		fail := func(err error) error {
+			held := mig.held
+			mig.held = nil
+			g.mig = nil
+			g.releaseHeld(held)
+			return fmt.Errorf("place: resync shard %s after device %d crash: %w", dst.Name(), d, err)
+		}
+		if len(g.replicas) == 0 {
+			g.replicas = append(g.replicas, dst)
+			held := mig.held
+			mig.held = nil
+			g.mig = nil
+			g.releaseHeld(held)
+			continue
+		}
+		from := g.replicas[0]
+		for _, sh := range g.replicas[1:] {
+			if pl.deviceScore(sh.DeviceIndex()).less(pl.deviceScore(from.DeviceIndex())) {
+				from = sh
+			}
+		}
+		if _, err := from.System().Store.CopyInto(p, dst.System().Store, batch); err != nil {
+			return fail(err)
+		}
+		for round := 0; round < 4 && len(mig.dirty) > 16; round++ {
+			if _, err := pl.copyDelta(p, from, dst, mig, batch); err != nil {
+				return fail(err)
+			}
+		}
+		mig.cutover = true
+		g.awaitWrites(p)
+		if _, err := pl.copyDelta(p, from, dst, mig, batch); err != nil {
+			return fail(err)
+		}
+		if err := dst.System().Store.Checkpoint(p); err != nil {
+			return fail(err)
+		}
+		g.replicas = append(g.replicas, dst)
+		pl.repled.CrashResyncs++
+		held := mig.held
+		mig.held = nil
+		g.mig = nil
+		g.releaseHeld(held)
+	}
+	return nil
 }
 
 // devScore is one device's health as the steering and destination

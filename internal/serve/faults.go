@@ -1,0 +1,175 @@
+package serve
+
+// Fault control: the fabric-level surface the fault-injection harness
+// (package faults) drives. Device death is the first-class event — it
+// trips every shard on the device, emits a device-down health event,
+// and fires the callbacks replica placement repairs on. Stalls, slow
+// chips and single-device crashes are the milder injections the same
+// harness schedules.
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+)
+
+// device returns group d's *ssd.Device, or nil when d is out of range
+// or the device is some other Dev implementation (fault hooks are
+// flash-device behavior).
+func (f *Fabric) device(d int) *ssd.Device {
+	if d < 0 || d >= len(f.groups) {
+		return nil
+	}
+	xd, _ := f.groups[d].dev.(*ssd.Device)
+	return xd
+}
+
+// KillDevice kills device d: the device drops its volatile buffer and
+// fails every future command, every shard on it goes down (queued
+// requests fail loudly with ErrDeviceDown, workers exit), the monitor
+// records a device-down event, and the OnDeviceDown callbacks fire —
+// in that order, all inside one simulation event, so a subscriber sees
+// the fabric already degraded when it is told. Killing a dead device
+// is a no-op.
+func (f *Fabric) KillDevice(d int) {
+	if d < 0 || d >= len(f.groups) || f.groups[d].down {
+		return
+	}
+	g := f.groups[d]
+	g.down = true
+	if xd, ok := g.dev.(*ssd.Device); ok {
+		xd.Kill()
+	}
+	lost := 0
+	for _, sh := range f.shards {
+		if sh.dev != d || sh.down {
+			continue
+		}
+		lost++
+		sh.down = true
+		sh.failBacklog(ErrDeviceDown)
+		ws := sh.waiters
+		sh.waiters = nil
+		for _, w := range ws {
+			w.Fire()
+		}
+	}
+	f.monitor.Emit(obs.HealthEvent{
+		Kind: obs.EventDeviceDown, At: f.eng.Now(),
+		Name:   g.dev.Name(),
+		Detail: fmt.Sprintf("device %d down, %d replicas lost", d, lost),
+		Value:  float64(lost),
+	})
+	for _, fn := range f.onDeviceDown {
+		fn(d)
+	}
+}
+
+// DeviceDown reports whether device d has been killed.
+func (f *Fabric) DeviceDown(d int) bool {
+	return d >= 0 && d < len(f.groups) && f.groups[d].down
+}
+
+// OnDeviceDown subscribes fn to device deaths; it fires inside the
+// KillDevice event with the dead device's index.
+func (f *Fabric) OnDeviceDown(fn func(d int)) {
+	f.onDeviceDown = append(f.onDeviceDown, fn)
+}
+
+// StallDevice freezes device d's controller for dur (firmware hang):
+// commands queue behind the stall and complete late.
+func (f *Fabric) StallDevice(d int, dur sim.Time) {
+	if xd := f.device(d); xd != nil {
+		xd.Stall(dur)
+	}
+}
+
+// SlowDevice scales device d's flash timings (read, program, erase
+// latency factors) — media-level aging or thermal throttling, the
+// drift signal the Mover evacuates on.
+func (f *Fabric) SlowDevice(d int, read, program, erase float64) {
+	if xd := f.device(d); xd != nil {
+		xd.AgeTiming(read, program, erase)
+	}
+}
+
+// Chips reports device d's flash chip count (0 when out of range or
+// chipless).
+func (f *Fabric) Chips(d int) int {
+	if xd := f.device(d); xd != nil {
+		return xd.Chips()
+	}
+	return 0
+}
+
+// KillChip kills one flash die on device d: programs and erases fail,
+// reads return uncorrectable data, and the FTL retires its blocks.
+func (f *Fabric) KillChip(d, chip int) {
+	if xd := f.device(d); xd != nil {
+		xd.KillChip(chip)
+	}
+}
+
+// StallChip freezes one flash die on device d for dur.
+func (f *Fabric) StallChip(d, chip int, dur sim.Time) {
+	if xd := f.device(d); xd != nil {
+		xd.StallChip(chip, dur)
+	}
+}
+
+// SlowChip scales one flash die's latencies on device d.
+func (f *Fabric) SlowChip(d, chip int, read, program, erase float64) {
+	if xd := f.device(d); xd != nil {
+		xd.SlowChip(chip, read, program, erase)
+	}
+}
+
+// CrashDevice models sudden power loss and restart of a single device
+// while the rest of the fabric keeps serving: device d drops its
+// volatile state once, and every shard on it fails its backlog with
+// ErrCrashed, quiesces, and reopens from the surviving media. Unlike
+// fabric-wide Crash the other devices' shards serve throughout —
+// which is exactly the stale-replica hazard: a reopened replica has
+// lost its volatile acks while its survivors kept every one, so
+// replica placement must resync it from a survivor before routing to
+// it again (Placement.CrashDevice orchestrates that).
+func (f *Fabric) CrashDevice(p *sim.Proc, d int) error {
+	if d < 0 || d >= len(f.groups) {
+		return fmt.Errorf("serve: device %d out of range", d)
+	}
+	if f.groups[d].down {
+		return fmt.Errorf("serve: device %d is dead, not crashable", d)
+	}
+	var mine []*Shard
+	for _, sh := range f.shards {
+		if sh.dev == d {
+			mine = append(mine, sh)
+		}
+	}
+	for _, sh := range mine {
+		sh.failBacklog(ErrCrashed)
+	}
+	for {
+		busy := 0
+		for _, sh := range mine {
+			busy += sh.busy
+		}
+		if busy == 0 {
+			break
+		}
+		p.Sleep(10 * sim.Microsecond)
+	}
+	if xd := f.device(d); xd != nil {
+		xd.Crash()
+	}
+	for _, sh := range mine {
+		fresh, err := sh.sys.Reopen(p)
+		if err != nil {
+			return fmt.Errorf("serve: reopen shard %d: %w", sh.idx, err)
+		}
+		sh.sys = fresh
+	}
+	return nil
+}

@@ -26,6 +26,10 @@ var (
 	// moment of power loss, or arriving during recovery). Unlike
 	// ErrStopped, serving resumes: clients should back off and retry.
 	ErrCrashed = errors.New("serve: request lost to fabric crash")
+	// ErrDeviceDown reports a request routed at a shard whose device has
+	// died (KillDevice). The shard never serves again; replica groups
+	// (package place) drop it and serve degraded from the survivors.
+	ErrDeviceDown = errors.New("serve: device down")
 )
 
 // AdmissionConfig bounds a shard's request queue. The zero value
@@ -176,6 +180,7 @@ type deviceGroup struct {
 	dev   ssd.Dev
 	stack *blockdev.Stack
 	sched *sched.Scheduler
+	down  bool // device killed (KillDevice); never serves again
 }
 
 // Fabric is the assembled serving system.
@@ -207,6 +212,11 @@ type Fabric struct {
 	slotOwner [][]*Shard
 	grafts    int      // migrated-in replicas built so far (names stay unique)
 	targets   []Target // cached default routing table (nil after shard set changes)
+
+	// onDeviceDown callbacks fire inside the KillDevice event, after the
+	// device's shards have failed their backlogs — the device-health
+	// signal replica placement subscribes to.
+	onDeviceDown []func(d int)
 
 	// Errors counts served requests that failed in the storage engine
 	// (not admission rejects) — should stay zero in a sized fabric.
@@ -707,11 +717,18 @@ func (f *Fabric) Crash(p *sim.Proc) error {
 		p.Sleep(10 * sim.Microsecond)
 	}
 	for _, g := range f.groups {
+		// A dead device has nothing left to lose and cannot reopen.
+		if g.down {
+			continue
+		}
 		if d, ok := g.dev.(*ssd.Device); ok {
 			d.Crash()
 		}
 	}
 	for _, sh := range f.shards {
+		if sh.down {
+			continue
+		}
 		fresh, err := sh.sys.Reopen(p)
 		if err != nil {
 			return fmt.Errorf("serve: reopen shard %d: %w", sh.idx, err)

@@ -68,6 +68,7 @@ type Shard struct {
 	dev     int // device index in the fabric
 	slot    int // region slot on that device
 	retired bool
+	down    bool // backing device died (Fabric.KillDevice)
 	group   *deviceGroup
 	sys     *kvstore.System
 	tenant  *sched.Tenant
@@ -120,8 +121,14 @@ func (sh *Shard) Replica() int { return sh.replica }
 // DeviceIndex returns the fabric device the shard's region lives on.
 func (sh *Shard) DeviceIndex() int { return sh.dev }
 
+// Slot returns the shard's region slot on its device.
+func (sh *Shard) Slot() int { return sh.slot }
+
 // Retired reports whether the shard has been removed from service.
 func (sh *Shard) Retired() bool { return sh.retired }
+
+// Down reports whether the shard's backing device has died.
+func (sh *Shard) Down() bool { return sh.down }
 
 // System exposes the shard's KV system (tests and instrumentation).
 func (sh *Shard) System() *kvstore.System { return sh.sys }
@@ -188,11 +195,14 @@ func (sh *Shard) setRate(perSec float64) {
 // forever. Requests arriving at a stopped or crashing fabric are not
 // part of the admission ledger.
 func (sh *Shard) Submit(op Op, done func(error)) {
-	if sh.fab.stopped || sh.fab.crashing || sh.retired {
+	if sh.fab.stopped || sh.fab.crashing || sh.retired || sh.down {
 		if done != nil {
-			if sh.fab.crashing {
+			switch {
+			case sh.down:
+				done(ErrDeviceDown)
+			case sh.fab.crashing:
 				done(ErrCrashed)
-			} else {
+			default:
 				done(ErrStopped)
 			}
 		}
@@ -256,7 +266,7 @@ func (sh *Shard) Submit(op Op, done func(error)) {
 // place) keep a quorum write from being half-applied: either every
 // replica admits it, or no replica sees it.
 func (sh *Shard) Admits(c sched.Class) bool {
-	if sh.fab.stopped || sh.fab.crashing || sh.retired {
+	if sh.fab.stopped || sh.fab.crashing || sh.retired || sh.down {
 		return false
 	}
 	ac := &sh.fab.cfg.Admission
@@ -360,7 +370,7 @@ func (sh *Shard) worker(p *sim.Proc) {
 	defer func() { sh.running-- }()
 	for {
 		for len(sh.queue) == 0 {
-			if sh.fab.stopped || sh.retired || sh.running > sh.target {
+			if sh.fab.stopped || sh.retired || sh.down || sh.running > sh.target {
 				return
 			}
 			c := sim.NewCond(p.Engine())

@@ -24,6 +24,9 @@ var (
 	// ErrNamelessUnsupported reports nameless writes on an FTL that
 	// cannot hand out physical addresses.
 	ErrNamelessUnsupported = errors.New("ssd: nameless writes unsupported by this FTL")
+	// ErrDeviceDead reports a command issued to a killed device (fault
+	// injection): the controller never answers with data again.
+	ErrDeviceDead = errors.New("ssd: device dead")
 )
 
 // Dev is the host-visible contract of every simulated device.
@@ -79,6 +82,16 @@ type Device struct {
 	linkBytesNs int64 // bytes per second
 	cmdOverhead sim.Time
 
+	// dead marks a killed device (Kill): volatile state is gone and
+	// every command fails with ErrDeviceDead after its command cycle.
+	dead bool
+	// stallUntil freezes the controller (Stall): commands arriving
+	// before it queue behind the stall instead of starting.
+	stallUntil sim.Time
+	// onDeath callbacks fire once, inside the Kill event — the
+	// device-health signal hosts subscribe to.
+	onDeath []func()
+
 	m DeviceMetrics
 }
 
@@ -126,11 +139,31 @@ func (d *Device) linkTime(n int) sim.Time {
 	return sim.Time(int64(n) * int64(sim.Second) / d.linkBytesNs)
 }
 
+// gate defers a command past any active controller stall; a responsive
+// device dispatches immediately. Death is checked at dispatch (inside
+// the link occupancy), not here: a device that dies while a command is
+// queued behind the stall still fails that command.
+func (d *Device) gate(fn func()) {
+	if d.stallUntil > d.eng.Now() {
+		d.eng.Schedule(d.stallUntil, fn)
+		return
+	}
+	fn()
+}
+
 // Read implements Dev: command overhead, FTL read, then the data crosses
 // the host link.
 func (d *Device) Read(lpn int64, done func([]byte, error)) {
 	start := d.eng.Now()
+	d.gate(func() { d.read(start, lpn, done) })
+}
+
+func (d *Device) read(start sim.Time, lpn int64, done func([]byte, error)) {
 	d.link.Use(d.cmdOverhead, "cmd", func(_, _ sim.Time) {
+		if d.dead {
+			done(nil, ErrDeviceDead)
+			return
+		}
 		d.f.ReadLPN(lpn, func(data []byte, err error) {
 			if err != nil {
 				done(nil, err)
@@ -149,27 +182,46 @@ func (d *Device) Read(lpn int64, done func([]byte, error)) {
 // stores it (which, with a write-back buffer, acks quickly).
 func (d *Device) Write(lpn int64, data []byte, done func(error)) {
 	start := d.eng.Now()
-	d.link.Use(d.cmdOverhead+d.linkTime(d.PageSize()), "write-xfer", func(_, _ sim.Time) {
-		d.f.WriteLPN(lpn, data, func(err error) {
-			if err != nil {
-				done(err)
+	d.gate(func() {
+		d.link.Use(d.cmdOverhead+d.linkTime(d.PageSize()), "write-xfer", func(_, _ sim.Time) {
+			if d.dead {
+				done(ErrDeviceDead)
 				return
 			}
-			d.m.WriteLat.Record(int64(d.eng.Now() - start))
-			d.m.Writes.Add(d.PageSize())
-			done(nil)
+			d.f.WriteLPN(lpn, data, func(err error) {
+				if err != nil {
+					done(err)
+					return
+				}
+				d.m.WriteLat.Record(int64(d.eng.Now() - start))
+				d.m.Writes.Add(d.PageSize())
+				done(nil)
+			})
 		})
 	})
 }
 
 // Trim implements Dev (the ATA TRIM command the paper highlights as the
 // first crack in the block interface).
-func (d *Device) Trim(lpn int64) error { return d.f.Trim(lpn) }
+func (d *Device) Trim(lpn int64) error {
+	if d.dead {
+		return ErrDeviceDead
+	}
+	return d.f.Trim(lpn)
+}
 
-// Flush implements Dev.
+// Flush implements Dev. On a dead device the completion still fires
+// (there is nothing left to make durable and callers must not hang);
+// the loss is reported by the writes themselves.
 func (d *Device) Flush(done func()) {
-	d.link.Use(d.cmdOverhead, "flush-cmd", func(_, _ sim.Time) {
-		d.f.Flush(done)
+	d.gate(func() {
+		d.link.Use(d.cmdOverhead, "flush-cmd", func(_, _ sim.Time) {
+			if d.dead {
+				done()
+				return
+			}
+			d.f.Flush(done)
+		})
 	})
 }
 
@@ -193,8 +245,14 @@ func (d *Device) WriteNameless(data []byte, done func(ftl.PPA, error)) {
 		done(ftl.InvalidPPA, ErrNamelessUnsupported)
 		return
 	}
-	d.link.Use(d.cmdOverhead+d.linkTime(d.PageSize()), "nameless-xfer", func(_, _ sim.Time) {
-		pf.WriteNameless(data, done)
+	d.gate(func() {
+		d.link.Use(d.cmdOverhead+d.linkTime(d.PageSize()), "nameless-xfer", func(_, _ sim.Time) {
+			if d.dead {
+				done(ftl.InvalidPPA, ErrDeviceDead)
+				return
+			}
+			pf.WriteNameless(data, done)
+		})
 	})
 }
 
@@ -207,6 +265,10 @@ func (d *Device) ReadPhys(ppa ftl.PPA, done func([]byte, error)) {
 		return
 	}
 	d.link.Use(d.cmdOverhead, "cmd", func(_, _ sim.Time) {
+		if d.dead {
+			done(nil, ErrDeviceDead)
+			return
+		}
 		pf.ReadPhys(ppa, func(data []byte, err error) {
 			if err != nil {
 				done(nil, err)
@@ -345,6 +407,10 @@ func (d *Device) AtomicWrite(lpns []int64, pages [][]byte, done func(error)) {
 	start := d.eng.Now()
 	total := d.cmdOverhead + d.linkTime(d.PageSize()*len(lpns))
 	d.link.Use(total, "atomic-xfer", func(_, _ sim.Time) {
+		if d.dead {
+			done(ErrDeviceDead)
+			return
+		}
 		remaining := len(lpns)
 		var firstErr error
 		for i := range lpns {
@@ -388,4 +454,80 @@ func (d *Device) Crash() []int64 {
 		return pf.DropVolatileBuffer()
 	}
 	return nil
+}
+
+// Kill is whole-device death (fault injection): the volatile buffer is
+// gone for good, every command from now on fails with ErrDeviceDead
+// after its command cycle, and the registered death callbacks fire —
+// the device-health signal a serving fabric degrades and repairs on.
+// Unlike Crash there is no reopen: a killed device never serves again.
+func (d *Device) Kill() {
+	if d.dead {
+		return
+	}
+	d.dead = true
+	if pf := d.pageFTL(); pf != nil {
+		pf.DropVolatileBuffer()
+	}
+	fns := d.onDeath
+	d.onDeath = nil
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// Dead reports whether the device has been killed.
+func (d *Device) Dead() bool { return d.dead }
+
+// OnDeath registers a callback to fire inside the Kill event. A dead
+// device invokes it immediately.
+func (d *Device) OnDeath(fn func()) {
+	if d.dead {
+		fn()
+		return
+	}
+	d.onDeath = append(d.onDeath, fn)
+}
+
+// Stall freezes the controller for dur (firmware hang, fault
+// injection): commands arriving inside the window queue behind it.
+// Overlapping stalls extend, never shorten.
+func (d *Device) Stall(dur sim.Time) {
+	if until := d.eng.Now() + dur; until > d.stallUntil {
+		d.stallUntil = until
+	}
+}
+
+// Chips reports the device's flash chip count (0 without an array —
+// chip-level faults need flash to aim at).
+func (d *Device) Chips() int {
+	if d.arr == nil {
+		return 0
+	}
+	return d.arr.Chips()
+}
+
+// KillChip kills one flash die: its programs and erases fail, its
+// reads come back uncorrectable, and the FTL's own error handling
+// (block retirement, relocation) deals with the fallout.
+func (d *Device) KillChip(chip int) {
+	if d.arr != nil && chip >= 0 && chip < d.arr.Chips() {
+		d.arr.Chip(chip).Fail()
+	}
+}
+
+// StallChip freezes one flash die for dur: its queued operations start
+// only after the stall passes.
+func (d *Device) StallChip(chip int, dur sim.Time) {
+	if d.arr != nil && chip >= 0 && chip < d.arr.Chips() {
+		d.arr.Chip(chip).Stall(d.eng.Now() + dur)
+	}
+}
+
+// SlowChip scales one flash die's datasheet latencies (AgeTiming for a
+// single chip): factors replace, a factor <= 0 restores.
+func (d *Device) SlowChip(chip int, read, program, erase float64) {
+	if d.arr != nil && chip >= 0 && chip < d.arr.Chips() {
+		d.arr.Chip(chip).SetTimingScale(read, program, erase)
+	}
 }

@@ -65,6 +65,10 @@ type Options struct {
 	// BufferPages overrides the write-buffer size (-1 disables, 0 keeps
 	// default).
 	BufferPages int
+	// BufferVolatile drops the write buffer's battery backing: buffered
+	// acks vanish on a crash instead of surviving it. Fault-injection
+	// experiments use it to expose the volatile-ack durability trap.
+	BufferVolatile bool
 	// Placement overrides the write placement policy.
 	Placement ftl.Placement
 	// GCPolicy overrides the GC victim policy.
@@ -159,6 +163,9 @@ func Build(eng *sim.Engine, p Preset, opt Options) (Dev, error) {
 			fcfg.BufferPages = 0
 		case opt.BufferPages > 0:
 			fcfg.BufferPages = opt.BufferPages
+		}
+		if opt.BufferVolatile {
+			fcfg.BufferSafe = false
 		}
 		pf, err := ftl.NewPageFTL(arr, fcfg)
 		if err != nil {

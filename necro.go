@@ -22,8 +22,11 @@
 //     layer, tail-sampled flight recording, a unified telemetry
 //     registry, a time-series sampler with an SLO burn-rate and drift
 //     health engine, and live HTTP exposition (package obs);
-//   - the experiment suite E1-E21: E1-E14 regenerate every figure and
-//     quantitative claim in the paper, E15-E21 grow the served system.
+//   - a deterministic seeded fault-injection harness (package faults):
+//     kill, stall or slow a device or single chip at exact virtual
+//     times, with device death degrading and repairing replica groups;
+//   - the experiment suite E1-E22: E1-E14 regenerate every figure and
+//     quantitative claim in the paper, E15-E22 grow the served system.
 //
 // Quick start:
 //
@@ -39,6 +42,7 @@ import (
 	"repro/internal/blockdev"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/ftl"
 	"repro/internal/kvstore"
 	"repro/internal/metrics"
@@ -385,6 +389,15 @@ const (
 	EventMigrationAbort = obs.EventMigrationAbort
 	// EventAutoscaleWalk: the SLO controller moved workers or rates.
 	EventAutoscaleWalk = obs.EventAutoscaleWalk
+	// EventDeviceDown: a device died; its replicas are lost.
+	EventDeviceDown = obs.EventDeviceDown
+	// EventRepairStart: a group began rebuilding onto a spare slot.
+	EventRepairStart = obs.EventRepairStart
+	// EventRepairDone: the rebuilt replica joined; full strength again.
+	EventRepairDone = obs.EventRepairDone
+	// EventRepairAbort: the rebuild was abandoned (no spare, source
+	// lost); the group stays degraded.
+	EventRepairAbort = obs.EventRepairAbort
 )
 
 // NewTelemetrySampler builds a sampler with the given period and ring
@@ -402,6 +415,57 @@ func NewMonitor(sam *Sampler, tracer *Tracer, cfg MonitorConfig) *Monitor {
 // NewExposition returns an HTTP exposition with no sources attached;
 // Set installs a live run's registry, sampler and monitor.
 func NewExposition() *Exposition { return obs.NewExposition() }
+
+// Fault injection (package faults).
+type (
+	// FaultInjector arms a fault plan against a target and fires it at
+	// exact virtual times — deterministically reproducible per seed.
+	FaultInjector = faults.Injector
+	// FaultPlan is one scenario's scheduled failures.
+	FaultPlan = faults.Plan
+	// FaultInjection is one scheduled failure.
+	FaultInjection = faults.Injection
+	// FaultKind classifies an injectable failure mode.
+	FaultKind = faults.Kind
+	// FaultPlanConfig bounds the schedules RandomFaultPlan draws.
+	FaultPlanConfig = faults.PlanConfig
+	// FaultTarget is the fault surface the harness drives; Fabric
+	// implements it.
+	FaultTarget = faults.Target
+	// RepairLedger is the placement layer's failure-domain accounting:
+	// deaths, degraded serving, rebuilds, aborts, crash resyncs.
+	RepairLedger = metrics.RepairLedger
+)
+
+// Failure modes.
+const (
+	// FaultKillDevice fails a whole device permanently.
+	FaultKillDevice = faults.KillDevice
+	// FaultStallDevice freezes a device's controller for a duration.
+	FaultStallDevice = faults.StallDevice
+	// FaultSlowDevice scales a device's flash timings (aging, throttle).
+	FaultSlowDevice = faults.SlowDevice
+	// FaultKillChip fails a single flash die.
+	FaultKillChip = faults.KillChip
+	// FaultStallChip freezes a single flash die for a duration.
+	FaultStallChip = faults.StallChip
+	// FaultSlowChip scales a single flash die's timings.
+	FaultSlowChip = faults.SlowChip
+)
+
+// ErrDeviceDown reports a request routed at a shard whose device died;
+// the placement layer retries surviving replicas before surfacing it.
+var ErrDeviceDown = serve.ErrDeviceDown
+
+// NewFaultInjector builds an injector driving t (typically a Fabric).
+func NewFaultInjector(eng *Engine, t FaultTarget) *FaultInjector {
+	return faults.NewInjector(eng, t)
+}
+
+// RandomFaultPlan draws a reproducible fault schedule from seed.
+func RandomFaultPlan(seed uint64, cfg FaultPlanConfig) FaultPlan {
+	return faults.RandomPlan(seed, cfg)
+}
 
 // Workloads.
 type (
@@ -429,7 +493,7 @@ func NewWorkload(p WorkloadPattern, span int64, seed uint64) (*Workload, error) 
 
 // Experiments.
 type (
-	// Experiment is one runner from the E1-E21 suite.
+	// Experiment is one runner from the E1-E22 suite.
 	Experiment = experiments.Runner
 	// ExperimentResult is a runner's tables, figures and finding.
 	ExperimentResult = experiments.Result
@@ -445,5 +509,5 @@ const (
 	Full = experiments.Full
 )
 
-// Experiments lists the full E1-E21 suite in paper order.
+// Experiments lists the full E1-E22 suite in paper order.
 func Experiments() []Experiment { return experiments.All }

@@ -148,8 +148,8 @@ func TestPublicAPIWorkloadsAndExperiments(t *testing.T) {
 	if a := g.Next(); a.LPN < 0 || a.LPN >= 100 {
 		t.Fatal("workload out of range")
 	}
-	if len(Experiments()) != 21 {
-		t.Fatalf("Experiments() = %d entries, want 21", len(Experiments()))
+	if len(Experiments()) != 22 {
+		t.Fatalf("Experiments() = %d entries, want 22", len(Experiments()))
 	}
 	rng := NewRNG(1)
 	if rng.Intn(10) < 0 {
@@ -157,6 +157,13 @@ func TestPublicAPIWorkloadsAndExperiments(t *testing.T) {
 	}
 	if Quick == Full {
 		t.Fatal("scales must differ")
+	}
+	plan := RandomFaultPlan(7, FaultPlanConfig{Devices: 2, Injections: 3, MaxKills: 1})
+	if len(plan) != 3 {
+		t.Fatalf("fault plan has %d injections, want 3", len(plan))
+	}
+	if FaultKillDevice.String() != "kill-device" {
+		t.Fatalf("fault kind name = %q", FaultKillDevice.String())
 	}
 }
 
