@@ -141,6 +141,13 @@ func BenchmarkE22DeviceDeath(b *testing.B) {
 	benchExperiment(b, experiments.E22DeviceDeath)
 }
 
+// BenchmarkE23Throughput measures the hot-path overhaul: the batched
+// submission/completion rings and multi-op group commit against the
+// per-request path, scored on saturated ops/sec and CPU ns per op.
+func BenchmarkE23Throughput(b *testing.B) {
+	benchExperiment(b, experiments.E23Throughput)
+}
+
 // ---- substrate microbenchmarks (real wall-clock cost of the simulator) ----
 
 // BenchmarkSimulatedPageWrite measures simulator throughput for the full

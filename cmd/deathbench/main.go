@@ -1,6 +1,6 @@
-// deathbench runs the full experiment suite (E1-E22): E1-E14 reproduce
+// deathbench runs the full experiment suite (E1-E23): E1-E14 reproduce
 // every figure and quantitative claim of "The Necessary Death of the
-// Block Device Interface", and E15-E22 extend the reproduction with the
+// Block Device Interface", and E15-E23 extend the reproduction with the
 // multi-tenant studies built on the paper's communication abstraction:
 // scheduler isolation (internal/sched), the sharded KV serving fabric
 // with admission control (internal/serve), host→device GC coordination
@@ -10,9 +10,12 @@
 // placement with GC-steered reads and drift-triggered live migration
 // (internal/place), end-to-end request tracing with per-stage
 // tail-latency attribution (internal/obs), continuous telemetry — the
-// time-series sampler and SLO burn-rate health engine over it — and
-// fault injection (internal/faults): whole-device death under load
-// with degraded serving and rebuild onto a spare.
+// time-series sampler and SLO burn-rate health engine over it — fault
+// injection (internal/faults): whole-device death under load with
+// degraded serving and rebuild onto a spare — and the hot-path
+// throughput overhaul: batched submission/completion rings and
+// multi-op group commit swept against the per-request path at
+// saturation (E23).
 // It prints the paper-style tables. docs/EXPERIMENTS.md indexes every
 // experiment with its headline result.
 //

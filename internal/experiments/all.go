@@ -30,4 +30,5 @@ var All = []Runner{
 	{"E20", E20Observability},
 	{"E21", E21ContinuousMonitoring},
 	{"E22", E22DeviceDeath},
+	{"E23", E23Throughput},
 }

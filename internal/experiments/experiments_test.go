@@ -287,8 +287,8 @@ func TestE14MatrixSeparatesGenerations(t *testing.T) {
 }
 
 func TestAllRunnersListed(t *testing.T) {
-	if len(All) != 22 {
-		t.Fatalf("All has %d runners, want 22", len(All))
+	if len(All) != 23 {
+		t.Fatalf("All has %d runners, want 23", len(All))
 	}
 	seen := map[string]bool{}
 	for _, r := range All {
@@ -707,5 +707,55 @@ func TestE19ReplicatedPlacementSteersAndMigrates(t *testing.T) {
 	}
 	if stale := r.Headline["stale_acked_writes"]; stale != 0 {
 		t.Errorf("%v acknowledged writes stale across the migration", stale)
+	}
+}
+
+func TestE23RingPathWinsSaturated(t *testing.T) {
+	r, err := E23Throughput(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The acceptance bar: at 16 shards the ring path must beat the
+	// per-request path on ops/sec AND CPU ns/op on at least 2 of the 3
+	// stacks, with the E20 span invariant exact and admission still
+	// biting (E23Throughput itself errors on leaks/overruns/no-rejects,
+	// so those headline zeros are double bookkeeping).
+	if got := r.Headline["ring_wins_16_of_3"]; got < 2 {
+		t.Errorf("ring path wins both metrics on only %v of 3 stacks at 16 shards", got)
+	}
+	for _, mode := range []string{"SingleQueue", "MultiQueue", "Direct"} {
+		old := r.Headline["ops_per_sec_old_"+mode+"_16"]
+		ring := r.Headline["ops_per_sec_ring_"+mode+"_16"]
+		if old <= 0 || ring <= 0 {
+			t.Errorf("%s: missing 16-shard throughput headline (old=%v ring=%v)", mode, old, ring)
+		}
+	}
+	if got := r.Headline["span_leaks"]; got != 0 {
+		t.Errorf("%v spans leaked under batching", got)
+	}
+	if got := r.Headline["span_overruns"]; got != 0 {
+		t.Errorf("%v span overruns under batching", got)
+	}
+	if got := r.Headline["min_rejects_16"]; got < 1 {
+		t.Errorf("min 16-shard rejects %v, want admission still rejecting", got)
+	}
+	if len(r.Tables) != 1 {
+		t.Fatalf("tables = %d, want the saturation sweep", len(r.Tables))
+	}
+	if rows := r.Tables[0].Rows(); rows != 9 {
+		t.Fatalf("sweep rows = %d, want 3 stacks x 3 shard counts", rows)
+	}
+	// The live throughput series rides along from the sampled run.
+	if r.Series == nil {
+		t.Fatal("E23 returned no series dump")
+	}
+	found := false
+	for _, s := range r.Series.Series {
+		if s.Name == "fabric.throughput.ops_per_sec" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("series dump missing fabric.throughput.ops_per_sec")
 	}
 }

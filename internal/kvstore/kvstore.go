@@ -106,6 +106,11 @@ type Store struct {
 	Commits     int64
 	Checkpoints int64
 	Recoveries  int64
+	// BatchCommits counts ApplyBatch group commits; BatchOps counts the
+	// operations they carried (BatchOps/BatchCommits is the realized
+	// amortization factor of the ring path).
+	BatchCommits int64
+	BatchOps     int64
 }
 
 type memVal struct {

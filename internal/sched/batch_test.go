@@ -1,0 +1,244 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// arrival is one step of a pre-generated enqueue schedule: a run of
+// same-tenant requests landing at one instant. The batched scheduler
+// admits the run through one EnqueueBatch; the unbatched one enqueues
+// the same requests one by one.
+type arrival struct {
+	at     sim.Time
+	tenant int
+	costs  []int
+}
+
+// mkSchedule generates a seeded mix: three tenants (one rate-capped
+// latency tenant with a queue limit, two throughput tenants of unequal
+// weight), runs of 1..4 requests, costs 1..3.
+func mkSchedule(seed int64, n int) []arrival {
+	rng := rand.New(rand.NewSource(seed))
+	var out []arrival
+	at := sim.Time(0)
+	for len(out) < n {
+		at += sim.Time(100+rng.Intn(400)) * sim.Nanosecond
+		run := 1 + rng.Intn(4)
+		costs := make([]int, run)
+		for i := range costs {
+			costs[i] = 1 + rng.Intn(3)
+		}
+		out = append(out, arrival{at: at, tenant: rng.Intn(3), costs: costs})
+	}
+	return out
+}
+
+// traceRig drains a scheduler the way blockdev's pump does — per-op
+// Next on the old path, NextBatch on the ring path — and records every
+// dispatch as a (virtual time, tenant, cost) triple.
+type traceRig struct {
+	eng      *sim.Engine
+	sc       *Scheduler
+	slots    int
+	inflight int
+	service  sim.Time
+	batch    bool
+	trace    []string
+}
+
+func (r *traceRig) pump() {
+	if r.batch {
+		if free := r.slots - r.inflight; free > 0 {
+			for _, d := range r.sc.NextBatch(free) {
+				d()
+			}
+		}
+		return
+	}
+	for r.inflight < r.slots {
+		d, ok := r.sc.Next()
+		if !ok {
+			return
+		}
+		d()
+	}
+}
+
+func (r *traceRig) dispatch(name string, cost int) func() {
+	return func() {
+		r.inflight++
+		r.trace = append(r.trace, fmt.Sprintf("%v %s c%d", r.eng.Now(), name, cost))
+		r.eng.After(r.service, func() {
+			r.inflight--
+			r.pump()
+		})
+	}
+}
+
+// runTrace replays the schedule into a fresh scheduler and returns the
+// dispatch trace plus per-tenant (dispatched, rejected, tokens) state.
+func runTrace(sched []arrival, batch bool) (trace []string, state []string) {
+	eng := sim.NewEngine()
+	sc := New(eng, DefaultConfig())
+	lat := sc.AddTenant("lat", LatencySensitive, 2)
+	lat.SetRateLimit(200000, 4)
+	lat.SetQueueLimit(16)
+	bulk := sc.AddTenant("bulk", Throughput, 2)
+	bg := sc.AddTenant("bg", Throughput, 1)
+	tenants := []*Tenant{lat, bulk, bg}
+	r := &traceRig{eng: eng, sc: sc, slots: 2, service: 5 * sim.Microsecond, batch: batch}
+	sc.SetKick(r.pump)
+	sc.SetKickCoalesced(batch)
+	for _, a := range sched {
+		a := a
+		t := tenants[a.tenant]
+		eng.After(a.at, func() {
+			if batch {
+				items := make([]Item, len(a.costs))
+				for i, c := range a.costs {
+					items[i] = Item{Cost: c, Dispatch: r.dispatch(t.Name(), c)}
+				}
+				sc.EnqueueBatch(t, items)
+			} else {
+				for _, c := range a.costs {
+					sc.Enqueue(t, c, r.dispatch(t.Name(), c))
+				}
+			}
+			r.pump()
+		})
+	}
+	eng.RunUntil(50 * sim.Millisecond)
+	for _, t := range tenants {
+		state = append(state, fmt.Sprintf("%s dispatched=%d enqueued=%d rejected=%d backlog=%d tokens=%.3f",
+			t.Name(), t.Dispatched, t.Enqueued, t.Rejected, t.Backlog(), t.Tokens()))
+	}
+	return r.trace, state
+}
+
+// TestBatchedDrainMatchesUnbatched is the batch-semantics contract:
+// the same seeded arrival mix produces the identical virtual-time
+// dispatch trace, the identical DRR fairness outcome, the identical
+// admission rejects and the identical token balances whether the
+// scheduler is driven per-op (Enqueue + Next) or in batches
+// (EnqueueBatch + NextBatch with coalesced kicks). Batching may only
+// amortize control work — never change what is scheduled or when.
+func TestBatchedDrainMatchesUnbatched(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		sched := mkSchedule(seed, 800)
+		oldTrace, oldState := runTrace(sched, false)
+		ringTrace, ringState := runTrace(sched, true)
+		if len(oldTrace) == 0 {
+			t.Fatalf("seed %d: empty trace", seed)
+		}
+		if len(oldTrace) != len(ringTrace) {
+			t.Fatalf("seed %d: %d dispatches unbatched vs %d batched", seed, len(oldTrace), len(ringTrace))
+		}
+		for i := range oldTrace {
+			if oldTrace[i] != ringTrace[i] {
+				t.Fatalf("seed %d: dispatch %d diverged: %q vs %q", seed, i, oldTrace[i], ringTrace[i])
+			}
+		}
+		for i := range oldState {
+			if oldState[i] != ringState[i] {
+				t.Errorf("seed %d: tenant state diverged:\n  old:  %s\n  ring: %s", seed, oldState[i], ringState[i])
+			}
+		}
+	}
+}
+
+// TestEnqueueBatchAdmissionPrefix checks the batch admission contract:
+// items are admitted in order up to the queue limit, the rest are
+// rejected (counted and reported upward via the admitted prefix), and
+// rejection accounting matches per-op enqueues making the same
+// overflow.
+func TestEnqueueBatchAdmissionPrefix(t *testing.T) {
+	eng := sim.NewEngine()
+	sc := New(eng, DefaultConfig())
+	tn := sc.AddTenant("t", Throughput, 1)
+	tn.SetQueueLimit(5)
+	rejects := 0
+	tn.OnReject(func() { rejects++ })
+	items := make([]Item, 8)
+	ran := make([]bool, 8)
+	for i := range items {
+		i := i
+		items[i] = Item{Cost: 1, Dispatch: func() { ran[i] = true }}
+	}
+	admitted := sc.EnqueueBatch(tn, items)
+	if admitted != 5 {
+		t.Fatalf("admitted %d, want 5", admitted)
+	}
+	if tn.Rejected != 3 || rejects != 3 {
+		t.Fatalf("rejected=%d onReject=%d, want 3/3", tn.Rejected, rejects)
+	}
+	if tn.BacklogOps() != 5 {
+		t.Fatalf("backlog %d ops, want 5", tn.BacklogOps())
+	}
+	for _, d := range sc.NextBatch(8) {
+		d()
+	}
+	for i := 0; i < 5; i++ {
+		if !ran[i] {
+			t.Fatalf("admitted item %d never dispatched", i)
+		}
+	}
+	for i := 5; i < 8; i++ {
+		if ran[i] {
+			t.Fatalf("rejected item %d dispatched", i)
+		}
+	}
+	if tn.BacklogOps() != 0 {
+		t.Fatalf("backlog %d after drain", tn.BacklogOps())
+	}
+}
+
+// benchPopDepth measures one enqueue+dispatch cycle against a standing
+// backlog of the given depth. The head-index ring makes the pop O(1),
+// so ns/op must stay flat as the backlog grows 16× — the slice-shift
+// dequeue this replaced copied the whole backlog per pop and scaled
+// linearly here.
+func benchPopDepth(b *testing.B, depth int) {
+	eng := sim.NewEngine()
+	sc := New(eng, DefaultConfig())
+	tn := sc.AddTenant("t", Throughput, 1)
+	for i := 0; i < depth; i++ {
+		sc.Enqueue(tn, 1, func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, ok := sc.Next()
+		if !ok {
+			b.Fatal("backlog drained")
+		}
+		d()
+		sc.Enqueue(tn, 1, func() {})
+	}
+}
+
+func BenchmarkRingPopDepth1k(b *testing.B)  { benchPopDepth(b, 1<<10) }
+func BenchmarkRingPopDepth16k(b *testing.B) { benchPopDepth(b, 1<<14) }
+
+// BenchmarkRingDrainBatch measures a full NextBatch drain of 32
+// requests against a deep backlog (the pump's per-refill shape).
+func BenchmarkRingDrainBatch(b *testing.B) {
+	eng := sim.NewEngine()
+	sc := New(eng, DefaultConfig())
+	tn := sc.AddTenant("t", Throughput, 1)
+	for i := 0; i < 1<<14; i++ {
+		sc.Enqueue(tn, 1, func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds := sc.NextBatch(32)
+		for _, d := range ds {
+			d()
+		}
+		for range ds {
+			sc.Enqueue(tn, 1, func() {})
+		}
+	}
+}

@@ -176,9 +176,16 @@ type Tenant struct {
 	class  Class
 	weight int
 
-	deficit     int
+	deficit int
+	// The queue is a head-index ring: dequeue advances qhead instead of
+	// shifting the slice, so a pop is O(1) no matter how deep the
+	// backlog (the slice-shift it replaced copied the whole queue per
+	// op). Capacity is kept a power of two so positions mask instead of
+	// divide.
 	q           []request
-	backlogCost int // queued cost units (sum of q[i].cost)
+	qhead       int // ring index of the head request
+	qn          int // live requests in the ring
+	backlogCost int // queued cost units (sum over the ring)
 
 	// Admission control: queueLimit bounds the queue (ops); enqueues
 	// past it are rejected instead of silently backlogged, and onReject
@@ -199,6 +206,38 @@ type Tenant struct {
 	Wait metrics.Histogram
 }
 
+// qAt returns the i-th queued request (0 = head) in place.
+func (t *Tenant) qAt(i int) *request {
+	return &t.q[(t.qhead+i)&(len(t.q)-1)]
+}
+
+// qPush appends a request to the ring, doubling capacity when full.
+func (t *Tenant) qPush(r request) {
+	if t.qn == len(t.q) {
+		ncap := 2 * len(t.q)
+		if ncap < 16 {
+			ncap = 16
+		}
+		grown := make([]request, ncap)
+		for i := 0; i < t.qn; i++ {
+			grown[i] = *t.qAt(i)
+		}
+		t.q, t.qhead = grown, 0
+	}
+	*t.qAt(t.qn) = r
+	t.qn++
+}
+
+// qPop dequeues the head request. The vacated slot is zeroed so the
+// ring does not pin dispatch closures and spans past their dispatch.
+func (t *Tenant) qPop() request {
+	head := t.q[t.qhead]
+	t.q[t.qhead] = request{}
+	t.qhead = (t.qhead + 1) & (len(t.q) - 1)
+	t.qn--
+	return head
+}
+
 // Name returns the tenant's registered name.
 func (t *Tenant) Name() string { return t.name }
 
@@ -215,7 +254,7 @@ func (t *Tenant) Weight() int { return t.weight }
 func (t *Tenant) Backlog() int { return t.backlogCost }
 
 // BacklogOps reports the tenant's queued request count.
-func (t *Tenant) BacklogOps() int { return len(t.q) }
+func (t *Tenant) BacklogOps() int { return t.qn }
 
 // SetQueueLimit bounds the tenant's queue to n requests; further
 // enqueues are rejected (Enqueue returns false) until dispatches drain
@@ -263,6 +302,12 @@ type Scheduler struct {
 
 	gcChips int // device-reported chips currently garbage-collecting
 	kick    func()
+
+	// Kick coalescing (SetKickCoalesced): with coalesce set, state
+	// changes that would each kick the pump instead arm one kick event
+	// per instant, so a batch of notifications wakes the pump once.
+	coalesce  bool
+	kickArmed bool
 
 	// Host→device GC coordination (Config.GCCoordinate): the device
 	// control handle, the expiry of the currently leased deferral, and
@@ -489,16 +534,43 @@ func (s *Scheduler) Backlog() int { return s.backlog }
 // The downstream stack points this at its queue pump.
 func (s *Scheduler) SetKick(fn func()) { s.kick = fn }
 
+// SetKickCoalesced switches kick delivery to coalesced mode: each
+// notification that would kick the pump synchronously (a per-chip GC
+// edge, for example) instead arms at most one kick event at the
+// current instant, so a burst of notifications — or notifications
+// arriving mid-drain — trigger a single pump wakeup after the burst.
+// Off (the default) preserves the synchronous per-notification kick.
+func (s *Scheduler) SetKickCoalesced(on bool) { s.coalesce = on }
+
+// requestKick delivers one kick under the current coalescing policy.
+func (s *Scheduler) requestKick() {
+	if s.kick == nil {
+		return
+	}
+	if !s.coalesce {
+		s.kick()
+		return
+	}
+	if s.kickArmed {
+		return
+	}
+	s.kickArmed = true
+	s.eng.Schedule(s.eng.Now(), func() {
+		s.kickArmed = false
+		s.kick()
+	})
+}
+
 // SetGCActiveChips is the device-to-host notification sink: the device
 // reports how many of its chips are currently garbage-collecting (or
 // wear-leveling). Wire it to ssd.Device.SetGCNotifier.
 func (s *Scheduler) SetGCActiveChips(chips int) {
 	was := s.gcChips
 	s.gcChips = chips
-	if was != chips && s.kick != nil {
+	if was != chips {
 		// Both edges matter: GC starting may demote throughput work that
 		// is already queued; GC ending frees it.
-		s.kick()
+		s.requestKick()
 	}
 }
 
@@ -521,14 +593,14 @@ func (s *Scheduler) EnqueueSpan(t *Tenant, cost int, span *obs.Span, dispatch fu
 	if cost < 1 {
 		cost = 1
 	}
-	if t.queueLimit > 0 && len(t.q) >= t.queueLimit {
+	if t.queueLimit > 0 && t.qn >= t.queueLimit {
 		t.Rejected++
 		if t.onReject != nil {
 			t.onReject()
 		}
 		return false
 	}
-	t.q = append(t.q, request{cost: cost, at: s.eng.Now(), dispatch: dispatch, span: span})
+	t.qPush(request{cost: cost, at: s.eng.Now(), dispatch: dispatch, span: span})
 	t.backlogCost += cost
 	t.Enqueued++
 	s.backlog++
@@ -539,9 +611,63 @@ func (s *Scheduler) EnqueueSpan(t *Tenant, cost int, span *obs.Span, dispatch fu
 	return true
 }
 
+// Item is one request of a batched enqueue (EnqueueBatch).
+type Item struct {
+	// Cost is the request's DRR billing (minimum 1, like Enqueue).
+	Cost int
+	// Span is the request's trace span (nil traces nothing).
+	Span *obs.Span
+	// Dispatch runs when the scheduler selects the request.
+	Dispatch func()
+}
+
+// EnqueueBatch admits a batch of requests for tenant t in one
+// bookkeeping pass. Items queue in order until the tenant's queue
+// limit is reached; admitted reports how many got in, and the caller
+// must fail items[admitted:] upward — their Dispatch will never run.
+// Per-request billing is identical to calling EnqueueSpan per item.
+// What the batch amortizes is the per-op control work: rejection
+// accounting settles once, and the GC-deferral lease decision runs
+// once per batch instead of once per latency-class request.
+func (s *Scheduler) EnqueueBatch(t *Tenant, items []Item) (admitted int) {
+	admitted = len(items)
+	if t.queueLimit > 0 && t.qn+admitted > t.queueLimit {
+		admitted = t.queueLimit - t.qn
+		if admitted < 0 {
+			admitted = 0
+		}
+		rejected := len(items) - admitted
+		t.Rejected += int64(rejected)
+		if t.onReject != nil {
+			for i := 0; i < rejected; i++ {
+				t.onReject()
+			}
+		}
+	}
+	if admitted == 0 {
+		return 0
+	}
+	now := s.eng.Now()
+	for _, it := range items[:admitted] {
+		cost := it.Cost
+		if cost < 1 {
+			cost = 1
+		}
+		t.qPush(request{cost: cost, at: now, dispatch: it.Dispatch, span: it.Span})
+		t.backlogCost += cost
+	}
+	t.Enqueued += int64(admitted)
+	s.backlog += admitted
+	if t.class == LatencySensitive {
+		s.latencyBacklog += admitted
+		s.maybeDeferGC()
+	}
+	return admitted
+}
+
 // eligible reports whether tenant t's head request may dispatch now.
 func (s *Scheduler) eligible(t *Tenant, now sim.Time) bool {
-	head := &t.q[0]
+	head := t.qAt(0)
 	// The bucket is in ops, not DRR cost units: a rate cap promises
 	// "this many requests per second" regardless of how expensively
 	// each request is billed to the fair-queueing deficit.
@@ -572,11 +698,12 @@ func (s *Scheduler) eligible(t *Tenant, now sim.Time) bool {
 }
 
 // pop dequeues tenant t's head request and settles its accounting.
+// The ring pop is O(1); the slice-shift this replaced copied the whole
+// remaining queue on every dispatch.
 func (s *Scheduler) pop(t *Tenant, now sim.Time) request {
-	head := t.q[0]
-	t.q = t.q[0:copy(t.q, t.q[1:])]
+	head := t.qPop()
 	t.backlogCost -= head.cost
-	if len(t.q) == 0 {
+	if t.qn == 0 {
 		// Standard DRR: an idling tenant forfeits its deficit, so credit
 		// cannot be hoarded across idle periods.
 		t.deficit = 0
@@ -614,6 +741,40 @@ func (s *Scheduler) Next() (dispatch func(), ok bool) {
 		return nil, false
 	}
 	now := s.eng.Now()
+	if d, ok := s.selectOne(now); ok {
+		return d, true
+	}
+	s.armWakeup(now)
+	return nil, false
+}
+
+// NextBatch drains up to max eligible dispatches in one call — the
+// batched form of Next. Selection and deficit billing are the shared
+// selectOne loop, identical per request to the one-at-a-time path;
+// what a batch saves is the per-op control traffic: the wake-up timer
+// is armed once per drain instead of once per miss, and the caller
+// makes one drain decision for the whole batch. A short return means
+// nothing further is eligible at this instant.
+func (s *Scheduler) NextBatch(max int) []func() {
+	if max <= 0 || s.backlog == 0 {
+		return nil
+	}
+	now := s.eng.Now()
+	var out []func()
+	for len(out) < max {
+		d, ok := s.selectOne(now)
+		if !ok {
+			s.armWakeup(now)
+			break
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// selectOne runs one DRR selection at instant now, without arming a
+// wake-up on failure (Next and NextBatch arm it at their own cadence).
+func (s *Scheduler) selectOne(now sim.Time) (dispatch func(), ok bool) {
 	n := len(s.tenants)
 	// Two scans at most: if the first finds eligible tenants but none
 	// affordable, crediting jumps everyone forward by exactly the
@@ -626,27 +787,27 @@ func (s *Scheduler) Next() (dispatch func(), ok bool) {
 		for i := 0; i < n; i++ {
 			idx := (s.rr + i) % n
 			t := s.tenants[idx]
-			if len(t.q) == 0 || !s.eligible(t, now) {
+			if t.qn == 0 || !s.eligible(t, now) {
 				continue
 			}
 			anyEligible = true
-			if t.deficit >= t.q[0].cost {
-				t.deficit -= t.q[0].cost
+			if cost := t.qAt(0).cost; t.deficit >= cost {
+				t.deficit -= cost
 				head := s.pop(t, now)
 				s.rr = (idx + 1) % n
 				return head.dispatch, true
 			}
 		}
 		if !anyEligible {
-			break
+			return nil, false
 		}
 		rounds := 0
 		for _, t := range s.tenants {
-			if len(t.q) == 0 || !s.eligible(t, now) {
+			if t.qn == 0 || !s.eligible(t, now) {
 				continue
 			}
 			per := s.cfg.Quantum * t.weight
-			need := (t.q[0].cost - t.deficit + per - 1) / per
+			need := (t.qAt(0).cost - t.deficit + per - 1) / per
 			if need < 1 {
 				need = 1
 			}
@@ -655,13 +816,11 @@ func (s *Scheduler) Next() (dispatch func(), ok bool) {
 			}
 		}
 		for _, t := range s.tenants {
-			if len(t.q) > 0 && s.eligible(t, now) {
+			if t.qn > 0 && s.eligible(t, now) {
 				t.deficit += rounds * s.cfg.Quantum * t.weight
 			}
 		}
 	}
-	s.armWakeup(now)
-	return nil, false
 }
 
 // armWakeup schedules a kick at the earliest future instant at which a
@@ -675,10 +834,10 @@ func (s *Scheduler) armWakeup(now sim.Time) {
 	}
 	wake := sim.MaxTime
 	for _, t := range s.tenants {
-		if len(t.q) == 0 {
+		if t.qn == 0 {
 			continue
 		}
-		head := &t.q[0]
+		head := t.qAt(0)
 		if t.bucket.Active() && t.bucket.Tokens(now) < 1 {
 			if at := t.bucket.WakeAt(now); at < wake {
 				wake = at

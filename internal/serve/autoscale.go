@@ -202,7 +202,7 @@ func (a *Autoscaler) tickShard(sh *Shard) {
 			a.RateUps++
 			a.hold[sh] = a.cfg.Cooldown
 			a.fab.emitAutoscale(sh, fmt.Sprintf("raised admission rate to %.0f/s (rej %.0f%%)", next, 100*rej), next)
-		} else if sh.target > a.cfg.MinWorkers && len(sh.queue) == 0 && rej == 0 {
+		} else if sh.target > a.cfg.MinWorkers && sh.qn == 0 && rej == 0 {
 			sh.setWorkers(sh.target - 1)
 			a.Shrinks++
 			a.hold[sh] = a.cfg.Cooldown

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// batchConfig is baseConfig with the ring serving path on.
+func batchConfig(shards int) Config {
+	cfg := baseConfig(shards)
+	cfg.Batch = BatchConfig{Enabled: true}
+	return cfg
+}
+
+func TestBatchedFabricServesCorrectly(t *testing.T) {
+	withFabric(t, batchConfig(4), func(p *sim.Proc, f *Fabric) {
+		fe := NewFrontend(f, 64, 32)
+		for i := int64(0); i < 64; i++ {
+			if err := fe.Put(p, i, fe.valueFor(i, 0)); err != nil {
+				t.Fatalf("put %d: %v", i, err)
+			}
+		}
+		for i := int64(0); i < 64; i++ {
+			sh := fe.ShardFor(fe.Key(i))
+			got, err := sh.System().Store.Get(p, fe.Key(i))
+			if err != nil || !bytes.Equal(got, fe.valueFor(i, 0)) {
+				t.Fatalf("key %d on %s: %q %v", i, sh.Name(), got, err)
+			}
+		}
+		if f.Errors != 0 {
+			t.Errorf("engine errors: %d", f.Errors)
+		}
+	})
+}
+
+// TestBatchedPutsGroupCommit checks the tentpole plumbing end to end:
+// concurrent puts landing in one shard's admission ring are drained as
+// a batch and committed through kvstore.ApplyBatch — many keys, one
+// group commit — and every done callback fires exactly once.
+func TestBatchedPutsGroupCommit(t *testing.T) {
+	cfg := batchConfig(1)
+	cfg.WorkersPerShard = 1
+	withFabric(t, cfg, func(p *sim.Proc, f *Fabric) {
+		fe := NewFrontend(f, 64, 32)
+		const n = 48
+		wg := sim.NewWaitGroup(p.Engine())
+		wg.Add(n)
+		fired := make([]int, n)
+		for i := 0; i < n; i++ {
+			i := i
+			fe.Submit(Op{Kind: OpPut, Key: fe.Key(int64(i % 64)), Value: fe.valueFor(int64(i), 0), Class: sched.Throughput},
+				func(err error) {
+					fired[i]++
+					if err != nil {
+						t.Errorf("put %d: %v", i, err)
+					}
+					wg.Done()
+				})
+		}
+		wg.Wait(p)
+		for i, c := range fired {
+			if c != 1 {
+				t.Fatalf("put %d: done fired %d times", i, c)
+			}
+		}
+		st := f.Shards()[0].System().Store
+		if st.BatchCommits == 0 {
+			t.Fatal("no batch commits: puts never grouped through ApplyBatch")
+		}
+		if st.BatchOps <= st.BatchCommits {
+			t.Fatalf("batch ops %d / commits %d: no amortization", st.BatchOps, st.BatchCommits)
+		}
+	})
+}
+
+// TestBatchedSpanClosureCounts is E20's invariant under batching: with
+// tracing on and a driven mix over the ring path, every opened span is
+// closed and no span's stage accounting overruns its end-to-end time.
+func TestBatchedSpanClosureCounts(t *testing.T) {
+	cfg := batchConfig(4)
+	cfg.Trace = true
+	cfg.Admission = AdmissionConfig{Enabled: true, QueueLimit: 12, Rate: 6000, Burst: 32}
+	var fab *Fabric
+	withFabric(t, cfg, func(p *sim.Proc, f *Fabric) {
+		fab = f
+		fe := NewFrontend(f, 256, 32)
+		if err := fe.Preload(p); err != nil {
+			t.Fatalf("preload: %v", err)
+		}
+		f.ResetStats()
+		lat := metrics.NewTenantLatencies()
+		specs := []workload.TenantSpec{
+			{Name: "readers", LatencySensitive: true, Weight: 2, Pattern: workload.RR, Depth: 4, Seed: 11},
+			{Name: "writers", Weight: 1, Pattern: workload.RW, Depth: 8, Seed: 12},
+		}
+		horizon := p.Now() + 10*sim.Millisecond
+		if err := fe.Drive(specs, horizon, lat); err != nil {
+			t.Fatalf("drive: %v", err)
+		}
+		// Drive returns immediately; hold the fabric open through the
+		// window (withFabric stops it with drain when fn returns, so
+		// every admitted request still settles and closes its span).
+		p.Sleep(horizon - p.Now())
+	})
+	// Assert after the engine drains: in-flight spans have closed.
+	opened, closed, overruns := fab.Tracer().Opened(), fab.Tracer().Closed(), fab.Tracer().Overruns()
+	if opened == 0 {
+		t.Fatal("no spans opened")
+	}
+	if opened != closed {
+		t.Fatalf("span leak under batching: opened %d, closed %d", opened, closed)
+	}
+	if overruns != 0 {
+		t.Fatalf("%d span stage overruns under batching", overruns)
+	}
+	if fab.Served() == 0 {
+		t.Fatal("nothing served through the ring path")
+	}
+}
+
+// TestBatchedAdmissionRejectsPreserved is E16's contract on the ring
+// path: overload still answers "no" at admission, the ledger stays
+// consistent, and the queue high-water never exceeds the limit.
+func TestBatchedAdmissionRejectsPreserved(t *testing.T) {
+	cfg := batchConfig(1)
+	cfg.WorkersPerShard = 1
+	cfg.Admission = AdmissionConfig{Enabled: true, QueueLimit: 4}
+	withFabric(t, cfg, func(p *sim.Proc, f *Fabric) {
+		fe := NewFrontend(f, 16, 32)
+		const n = 50
+		wg := sim.NewWaitGroup(p.Engine())
+		wg.Add(n)
+		rejects := 0
+		for i := 0; i < n; i++ {
+			fe.Submit(Op{Kind: OpPut, Key: fe.Key(int64(i % 16)), Value: fe.valueFor(0, 0), Class: sched.Throughput},
+				func(err error) {
+					if errors.Is(err, ErrRejected) {
+						rejects++
+					}
+					wg.Done()
+				})
+		}
+		wg.Wait(p)
+		st := f.Stats().Shard("shard0")
+		if st.MaxQueue > 4 {
+			t.Errorf("queue high-water %d exceeds limit 4", st.MaxQueue)
+		}
+		if st.Rejected == 0 || rejects != int(st.Rejected) {
+			t.Errorf("rejects: callback saw %d, stats say %d (want > 0, equal)", rejects, st.Rejected)
+		}
+		if st.Admitted+st.Rejected != st.Submitted || st.Submitted != n {
+			t.Errorf("admission ledger inconsistent: %+v", *st)
+		}
+	})
+}

@@ -73,6 +73,26 @@ type AdmissionConfig struct {
 	EstimatorWindow sim.Time
 }
 
+// BatchConfig turns on the ring serving path: workers drain admission
+// queues in batches instead of one op per cond wakeup, consecutive
+// puts in a drained batch commit through kvstore.ApplyBatch (one log
+// append run + one group-commit sync for the whole run), the device
+// stacks run their batched submission/completion rings
+// (blockdev.Config.Batch), and submit-side worker wakeups coalesce to
+// at most one per batch. The zero value is the per-request path E16
+// measured — BatchConfig only changes who pays fixed costs, never
+// admission outcomes or span accounting.
+type BatchConfig struct {
+	// Enabled turns the ring path on.
+	Enabled bool
+	// MaxOps bounds how many queued ops one worker drains per batch
+	// (zero = 8).
+	MaxOps int
+	// OpCost is the per-op CPU cost after the first in a drained batch;
+	// the first op pays full ServeCost (zero = ServeCost/4).
+	OpCost sim.Time
+}
+
 // Config parameterizes a Fabric.
 type Config struct {
 	// Shards is the number of logical KV shards (minimum 1).
@@ -147,6 +167,10 @@ type Config struct {
 	// must not be free, or closed-loop clients would spin the simulation
 	// at one instant.
 	ServeCost sim.Time
+	// Batch selects the ring serving path (batched worker drains, batch
+	// commit, batched device submission/completion). The zero value is
+	// the per-request path.
+	Batch BatchConfig
 	// Store tunes each shard's KV engine (meta/trim fields are
 	// overridden by the assembly).
 	Store kvstore.Config
@@ -254,6 +278,14 @@ func New(p *sim.Proc, eng *sim.Engine, cfg Config) (*Fabric, error) {
 	if cfg.ServeCost <= 0 {
 		cfg.ServeCost = 2 * sim.Microsecond
 	}
+	if cfg.Batch.Enabled {
+		if cfg.Batch.MaxOps <= 0 {
+			cfg.Batch.MaxOps = 8
+		}
+		if cfg.Batch.OpCost <= 0 {
+			cfg.Batch.OpCost = cfg.ServeCost / 4
+		}
+	}
 	if cfg.LogPages <= 0 {
 		cfg.LogPages = 24
 	}
@@ -358,6 +390,7 @@ func New(p *sim.Proc, eng *sim.Engine, cfg Config) (*Fabric, error) {
 		scfg.WriteCost = cfg.WriteCost
 		scfg.Calibrate = cfg.Calibrate
 		scfg.CalibrateWindow = cfg.CalibrateWindow
+		scfg.Batch = cfg.Batch.Enabled
 		stack, err := blockdev.New(eng, dev, scfg)
 		if err != nil {
 			return nil, err

@@ -74,9 +74,19 @@ type Shard struct {
 	tenant  *sched.Tenant
 	stats   *metrics.ShardCounters
 
+	// Admission queue: a power-of-two ring indexed from qhead holding
+	// qn ops, so both the worker pop and the batch drain are O(1) per
+	// op (the slice-shift this replaced copied the whole backlog on
+	// every dequeue).
 	queue   []*Op
+	qhead   int
+	qn      int
 	waiters []*sim.Cond
 	busy    int // workers mid-request (Fabric.Crash quiesces on this)
+
+	// wakeArmed coalesces submit-side worker wakeups on the ring path:
+	// any number of Submits in one instant arm at most one wake event.
+	wakeArmed bool
 
 	// Worker pool: target is the desired size (walked by the SLO
 	// controller within its bounds), running the live process count.
@@ -144,7 +154,31 @@ func (sh *Shard) Tenant() *sched.Tenant { return sh.tenant }
 func (sh *Shard) Stats() *metrics.ShardCounters { return sh.stats }
 
 // QueueLen reports the shard's current admission-queue length.
-func (sh *Shard) QueueLen() int { return len(sh.queue) }
+func (sh *Shard) QueueLen() int { return sh.qn }
+
+// qPush appends op to the admission ring, doubling capacity (kept a
+// power of two so indexing is a mask) when full.
+func (sh *Shard) qPush(op *Op) {
+	if sh.qn == len(sh.queue) {
+		next := make([]*Op, max(16, 2*len(sh.queue)))
+		for i := 0; i < sh.qn; i++ {
+			next[i] = sh.queue[(sh.qhead+i)&(len(sh.queue)-1)]
+		}
+		sh.queue = next
+		sh.qhead = 0
+	}
+	sh.queue[(sh.qhead+sh.qn)&(len(sh.queue)-1)] = op
+	sh.qn++
+}
+
+// qPop removes and returns the admission ring's head op.
+func (sh *Shard) qPop() *Op {
+	op := sh.queue[sh.qhead]
+	sh.queue[sh.qhead] = nil
+	sh.qhead = (sh.qhead + 1) & (len(sh.queue) - 1)
+	sh.qn--
+	return op
+}
 
 // Workers reports the shard's target worker-pool size.
 func (sh *Shard) Workers() int { return sh.target }
@@ -211,7 +245,7 @@ func (sh *Shard) Submit(op Op, done func(error)) {
 	sh.stats.Submitted++
 	ac := &sh.fab.cfg.Admission
 	if ac.Enabled {
-		if len(sh.queue) >= ac.QueueLimit {
+		if sh.qn >= ac.QueueLimit {
 			sh.stats.Rejected++
 			sh.fab.classLedger(op.Class).Rejected++
 			if done != nil {
@@ -246,15 +280,41 @@ func (sh *Shard) Submit(op Op, done func(error)) {
 	op.arrived = sh.fab.eng.Now()
 	op.Span.MarkArrived(op.arrived)
 	op.done = done
-	sh.queue = append(sh.queue, &op)
-	if n := len(sh.queue); n > sh.stats.MaxQueue {
-		sh.stats.MaxQueue = n
+	sh.qPush(&op)
+	if sh.qn > sh.stats.MaxQueue {
+		sh.stats.MaxQueue = sh.qn
+	}
+	if sh.fab.cfg.Batch.Enabled {
+		sh.armWake()
+		return
 	}
 	if n := len(sh.waiters); n > 0 {
 		w := sh.waiters[n-1]
 		sh.waiters = sh.waiters[:n-1]
 		w.Fire()
 	}
+}
+
+// armWake schedules at most one wake event per instant on the ring
+// path: when it fires, enough idle workers are woken to drain the
+// backlog at MaxOps per worker. A burst of Submits in one instant
+// costs one event and one waiter scan instead of one wakeup per op.
+func (sh *Shard) armWake() {
+	if sh.wakeArmed || len(sh.waiters) == 0 {
+		return
+	}
+	sh.wakeArmed = true
+	sh.fab.eng.Schedule(sh.fab.eng.Now(), func() {
+		sh.wakeArmed = false
+		want := (sh.qn + sh.fab.cfg.Batch.MaxOps - 1) / sh.fab.cfg.Batch.MaxOps
+		for want > 0 && len(sh.waiters) > 0 {
+			n := len(sh.waiters)
+			w := sh.waiters[n-1]
+			sh.waiters = sh.waiters[:n-1]
+			w.Fire()
+			want--
+		}
+	})
 }
 
 // Admits reports whether a request of class c arriving right now would
@@ -273,7 +333,7 @@ func (sh *Shard) Admits(c sched.Class) bool {
 	if !ac.Enabled {
 		return true
 	}
-	if len(sh.queue) >= ac.QueueLimit {
+	if sh.qn >= ac.QueueLimit {
 		return false
 	}
 	if ac.Adaptive && sh.predictMiss(c) {
@@ -288,13 +348,14 @@ func (sh *Shard) Admits(c sched.Class) bool {
 // failBacklog fails every queued request with err and settles the drop
 // ledger (Stop without drain, and the moment of a fabric crash).
 func (sh *Shard) failBacklog(err error) {
-	for _, op := range sh.queue {
+	for sh.qn > 0 {
+		op := sh.qPop()
 		sh.stats.Dropped++
 		if op.done != nil {
 			op.done(err)
 		}
 	}
-	sh.queue = nil
+	sh.queue, sh.qhead = nil, 0
 }
 
 // staticDeadlineFor maps a request class to its configured completion
@@ -351,7 +412,7 @@ func (sh *Shard) predictMiss(c sched.Class) bool {
 	if workers < 1 {
 		workers = 1
 	}
-	wait := float64(len(sh.queue)) * all.EWMA() / float64(workers)
+	wait := float64(sh.qn) * all.EWMA() / float64(workers)
 	ce := sh.svc.Class(c.String())
 	ce.Observe(now) // a stale post-idle window must age out, not drop
 	tail := float64(ce.Quantile(0.99))
@@ -369,7 +430,7 @@ func (sh *Shard) predictMiss(c sched.Class) bool {
 func (sh *Shard) worker(p *sim.Proc) {
 	defer func() { sh.running-- }()
 	for {
-		for len(sh.queue) == 0 {
+		for sh.qn == 0 {
 			if sh.fab.stopped || sh.retired || sh.down || sh.running > sh.target {
 				return
 			}
@@ -387,8 +448,11 @@ func (sh *Shard) worker(p *sim.Proc) {
 			}
 			return
 		}
-		op := sh.queue[0]
-		sh.queue = sh.queue[0:copy(sh.queue, sh.queue[1:])]
+		if bc := &sh.fab.cfg.Batch; bc.Enabled {
+			sh.serveBatch(p, bc)
+			continue
+		}
+		op := sh.qPop()
 		sh.busy++
 		start := p.Now()
 		if op.Span != nil {
@@ -405,33 +469,110 @@ func (sh *Shard) worker(p *sim.Proc) {
 			sh.fab.tracer.Unbind(p)
 		}
 		sh.busy--
-		if err != nil {
-			// Engine failures are neither served nor latency samples.
-			sh.fab.Errors++
-			sh.stats.Failed++
-		} else {
-			now := p.Now()
-			if sh.svc != nil {
-				svc := int64(now - start)
-				sh.svc.Record(op.Class.String(), int64(now), svc)
-				sh.svc.Record(svcAll, int64(now), svc)
-			}
-			sh.stats.Served++
-			sh.fab.classLedger(op.Class).Served++
-			sh.fab.shardLat.Record(sh.name, int64(now-op.arrived))
-			// Misses are always scored against the configured SLO, never
-			// the derived admission target: an adaptive fabric must not
-			// grade itself on a relaxed curve, or static-vs-adaptive
-			// miss rates would compare different success criteria.
-			if d := sh.staticDeadlineFor(op.Class); d > 0 && now-op.arrived > d {
-				sh.stats.DeadlineMissed++
-				sh.fab.classLedger(op.Class).Missed++
-			}
+		sh.settle(p, op, start, err)
+	}
+}
+
+// settle closes one request's serving ledger: failures count as engine
+// errors, successes feed the service-time estimator and the per-class
+// deadline scoring, and done fires either way. Misses are always
+// scored against the configured SLO, never the derived admission
+// target: an adaptive fabric must not grade itself on a relaxed curve,
+// or static-vs-adaptive miss rates would compare different success
+// criteria.
+func (sh *Shard) settle(p *sim.Proc, op *Op, start sim.Time, err error) {
+	if err != nil {
+		// Engine failures are neither served nor latency samples.
+		sh.fab.Errors++
+		sh.stats.Failed++
+	} else {
+		now := p.Now()
+		if sh.svc != nil {
+			svc := int64(now - start)
+			sh.svc.Record(op.Class.String(), int64(now), svc)
+			sh.svc.Record(svcAll, int64(now), svc)
 		}
-		if op.done != nil {
-			op.done(err)
+		sh.stats.Served++
+		sh.fab.classLedger(op.Class).Served++
+		sh.fab.shardLat.Record(sh.name, int64(now-op.arrived))
+		if d := sh.staticDeadlineFor(op.Class); d > 0 && now-op.arrived > d {
+			sh.stats.DeadlineMissed++
+			sh.fab.classLedger(op.Class).Missed++
 		}
 	}
+	if op.done != nil {
+		op.done(err)
+	}
+}
+
+// serveBatch drains up to MaxOps queued ops and serves them as one
+// batch: admission-wait stamps settle in one pass at the drain
+// instant, a run of consecutive puts commits through one
+// kvstore.ApplyBatch (one log append run + one group-commit sync for
+// the whole run), and worker CPU is charged full ServeCost once per
+// batch plus OpCost per further op — the fixed parse/route/serialize
+// work is paid once, the marginal per-op work every time.
+func (sh *Shard) serveBatch(p *sim.Proc, bc *BatchConfig) {
+	start := p.Now()
+	batch := make([]*Op, 0, bc.MaxOps)
+	for sh.qn > 0 && len(batch) < bc.MaxOps {
+		op := sh.qPop()
+		if op.Span != nil {
+			op.Span.Stamp(obs.StageAdmission, start-op.arrived)
+		}
+		batch = append(batch, op)
+	}
+	sh.busy++
+	firstGroup := true
+	for lo := 0; lo < len(batch); {
+		hi := lo + 1
+		if batch[lo].Kind == OpPut {
+			for hi < len(batch) && batch[hi].Kind == OpPut {
+				hi++
+			}
+		}
+		group := batch[lo:hi]
+		// Bind the group's first traced span so the block layer stamps
+		// the I/Os this group issues; grouped siblings share the same
+		// storage round trip, so one span carrying it is exact for the
+		// batch total (the invariant E20 checks), not double-counted.
+		var bound *obs.Span
+		for _, op := range group {
+			if op.Span != nil {
+				bound = op.Span
+				break
+			}
+		}
+		if bound != nil {
+			sh.fab.tracer.Bind(p, bound)
+		}
+		cost := sim.Time(len(group)-1) * bc.OpCost
+		if firstGroup {
+			cost += sh.fab.cfg.ServeCost
+			firstGroup = false
+		} else {
+			cost += bc.OpCost
+		}
+		p.Sleep(cost)
+		var err error
+		if len(group) > 1 {
+			ops := make([]kvstore.BatchOp, len(group))
+			for i, op := range group {
+				ops[i] = kvstore.BatchOp{Key: op.Key, Value: op.Value}
+			}
+			err = sh.sys.Store.ApplyBatch(p, ops)
+		} else {
+			err = sh.execute(p, group[0])
+		}
+		if bound != nil {
+			sh.fab.tracer.Unbind(p)
+		}
+		for _, op := range group {
+			sh.settle(p, op, start, err)
+		}
+		lo = hi
+	}
+	sh.busy--
 }
 
 // execute runs one request against the shard's store.

@@ -25,8 +25,8 @@
 //   - a deterministic seeded fault-injection harness (package faults):
 //     kill, stall or slow a device or single chip at exact virtual
 //     times, with device death degrading and repairing replica groups;
-//   - the experiment suite E1-E22: E1-E14 regenerate every figure and
-//     quantitative claim in the paper, E15-E22 grow the served system.
+//   - the experiment suite E1-E23: E1-E14 regenerate every figure and
+//     quantitative claim in the paper, E15-E23 grow the served system.
 //
 // Quick start:
 //
@@ -174,6 +174,9 @@ type (
 	// to park background collection during latency bursts (the other
 	// half of the peer interface; ssd devices implement it).
 	GCControl = sched.GCControl
+	// SchedItem is one request of a batched enqueue
+	// (Scheduler.EnqueueBatch): cost, trace span and dispatch closure.
+	SchedItem = sched.Item
 )
 
 // Tenant classes.
@@ -225,6 +228,9 @@ type (
 	KVConfig = kvstore.Config
 	// KVSystem bundles an engine with its devices for crash testing.
 	KVSystem = kvstore.System
+	// KVBatchOp is one operation of a multi-op group commit
+	// (KV.ApplyBatch): N puts/deletes, one WAL sync.
+	KVBatchOp = kvstore.BatchOp
 )
 
 // BuildConservativeKV assembles the engine over the conservative stack.
@@ -251,6 +257,9 @@ type (
 	Frontend = serve.Frontend
 	// AdmissionConfig bounds per-shard queues, rates and deadlines.
 	AdmissionConfig = serve.AdmissionConfig
+	// FabricBatchConfig turns on the ring serving path: batched shard
+	// drains, multi-op group commits and batched device submission.
+	FabricBatchConfig = serve.BatchConfig
 	// ShardStats is the per-shard admission/serving ledger.
 	ShardStats = metrics.ShardStats
 )
@@ -493,7 +502,7 @@ func NewWorkload(p WorkloadPattern, span int64, seed uint64) (*Workload, error) 
 
 // Experiments.
 type (
-	// Experiment is one runner from the E1-E22 suite.
+	// Experiment is one runner from the E1-E23 suite.
 	Experiment = experiments.Runner
 	// ExperimentResult is a runner's tables, figures and finding.
 	ExperimentResult = experiments.Result
@@ -509,5 +518,5 @@ const (
 	Full = experiments.Full
 )
 
-// Experiments lists the full E1-E22 suite in paper order.
+// Experiments lists the full E1-E23 suite in paper order.
 func Experiments() []Experiment { return experiments.All }
