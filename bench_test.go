@@ -148,6 +148,13 @@ func BenchmarkE23Throughput(b *testing.B) {
 	benchExperiment(b, experiments.E23Throughput)
 }
 
+// BenchmarkE24ResourceProfile measures the resource profiler over the
+// saturation sweep: exact per-resource busy-time attribution at zero
+// virtual-time overhead, scored on closure and the bottleneck shift.
+func BenchmarkE24ResourceProfile(b *testing.B) {
+	benchExperiment(b, experiments.E24ResourceProfile)
+}
+
 // ---- substrate microbenchmarks (real wall-clock cost of the simulator) ----
 
 // BenchmarkSimulatedPageWrite measures simulator throughput for the full

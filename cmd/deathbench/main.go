@@ -1,6 +1,6 @@
-// deathbench runs the full experiment suite (E1-E23): E1-E14 reproduce
+// deathbench runs the full experiment suite (E1-E24): E1-E14 reproduce
 // every figure and quantitative claim of "The Necessary Death of the
-// Block Device Interface", and E15-E23 extend the reproduction with the
+// Block Device Interface", and E15-E24 extend the reproduction with the
 // multi-tenant studies built on the paper's communication abstraction:
 // scheduler isolation (internal/sched), the sharded KV serving fabric
 // with admission control (internal/serve), host→device GC coordination
@@ -12,10 +12,12 @@
 // tail-latency attribution (internal/obs), continuous telemetry — the
 // time-series sampler and SLO burn-rate health engine over it — fault
 // injection (internal/faults): whole-device death under load with
-// degraded serving and rebuild onto a spare — and the hot-path
+// degraded serving and rebuild onto a spare — the hot-path
 // throughput overhaul: batched submission/completion rings and
 // multi-op group commit swept against the per-request path at
-// saturation (E23).
+// saturation (E23) — and resource profiling: per-chip/channel/CPU
+// busy-time attribution with exact closure, folded-stack flame export
+// and bottleneck identification across the saturation sweep (E24).
 // It prints the paper-style tables. docs/EXPERIMENTS.md indexes every
 // experiment with its headline result.
 //
@@ -23,6 +25,7 @@
 //
 //	deathbench [-scale quick|full] [-only E5,E10] [-json results.json]
 //	           [-obs telemetry.json] [-series series.json]
+//	           [-profile profile.json]
 //	           [-goldenseries scripts/series_golden.txt] [-serve :9464]
 //
 // With -json, machine-readable per-experiment results (id, title,
@@ -30,14 +33,19 @@
 // the bench trajectory (BENCH_*.json) can be captured per run. With
 // -obs, the unified telemetry snapshots (obs.Registry exports) of the
 // experiments that keep one are written as a map keyed by experiment
-// ID; -series does the same for sampled time-series ring dumps.
-// -goldenseries compares the telemetry schema this run produced — every
-// registry source name and every sampled series name — against a golden
-// list and exits 1 on drift, so renamed or dropped telemetry fails CI
-// instead of silently breaking dashboards. -serve starts an HTTP
-// listener exposing the most recently started monitored fabric live at
-// /metrics (Prometheus text), /snapshot, /series, and /events, and
-// keeps serving the final state after the suite finishes.
+// ID; -series does the same for sampled time-series ring dumps, and
+// -profile for resource-attribution snapshots (per-resource causes,
+// wait overlays, and the folded flame lines a flamegraph renderer can
+// consume directly). -goldenseries compares the telemetry schema this
+// run produced — every registry source name and every sampled series
+// name — against a golden list and exits 1 on drift, printing a
+// unified diff of the two name lists, so renamed or dropped telemetry
+// fails CI with an actionable patch instead of silently breaking
+// dashboards. -serve starts an HTTP listener exposing the most
+// recently started monitored fabric live at /metrics (Prometheus
+// text), /snapshot, /series, /events, and /profile (folded flame
+// text; ?format=json for the full snapshot), and keeps serving the
+// final state after the suite finishes.
 package main
 
 import (
@@ -68,6 +76,7 @@ func main() {
 	jsonFlag := flag.String("json", "", "write machine-readable per-experiment results to this path")
 	obsFlag := flag.String("obs", "", "write per-experiment telemetry snapshots (registry exports) to this path")
 	seriesFlag := flag.String("series", "", "write per-experiment sampled time-series dumps to this path")
+	profileFlag := flag.String("profile", "", "write per-experiment resource-attribution profiles (folded flame stacks included) to this path")
 	goldenFlag := flag.String("goldenseries", "", "compare registry source and series names against this golden list; exit 1 on drift")
 	serveFlag := flag.String("serve", "", "serve live telemetry over HTTP on this address (e.g. :9464)")
 	flag.Parse()
@@ -104,6 +113,7 @@ func main() {
 	var records []jsonResult
 	snapshots := map[string]map[string]any{}
 	series := map[string]*obs.SeriesDump{}
+	profiles := map[string]*obs.Profile{}
 	schema := map[string]bool{}
 	for _, r := range experiments.All {
 		if len(want) > 0 && !want[r.ID] {
@@ -135,6 +145,9 @@ func main() {
 				schema["series:"+s.Name] = true
 			}
 		}
+		if res.Profile != nil {
+			profiles[res.ID] = res.Profile
+		}
 	}
 	if *jsonFlag != "" {
 		writeJSON(*jsonFlag, records)
@@ -144,6 +157,9 @@ func main() {
 	}
 	if *seriesFlag != "" {
 		writeJSON(*seriesFlag, series)
+	}
+	if *profileFlag != "" {
+		writeJSON(*profileFlag, profiles)
 	}
 	if *goldenFlag != "" && !checkGolden(*goldenFlag, schema) {
 		failed++
@@ -161,7 +177,9 @@ func main() {
 // golden list (one name per line, # comments allowed). Both missing and
 // unexpected names are drift: a rename breaks whatever consumed the old
 // name, and an unlisted addition means the golden list no longer
-// describes the exported surface.
+// describes the exported surface. On drift it prints a unified diff of
+// the two sorted name lists — applying the "+"/"-" lines to the golden
+// file is exactly the fix.
 func checkGolden(path string, got map[string]bool) bool {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -176,26 +194,36 @@ func checkGolden(path string, got map[string]bool) bool {
 		}
 		want[line] = true
 	}
-	var missing, extra []string
+	union := map[string]bool{}
 	for name := range want {
-		if !got[name] {
-			missing = append(missing, name)
-		}
+		union[name] = true
 	}
 	for name := range got {
-		if !want[name] {
-			extra = append(extra, name)
+		union[name] = true
+	}
+	names := make([]string, 0, len(union))
+	for name := range union {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	drift := 0
+	var body strings.Builder
+	for _, name := range names {
+		switch {
+		case want[name] && got[name]:
+			fmt.Fprintf(&body, " %s\n", name)
+		case want[name]: // in the golden list, missing from this run
+			fmt.Fprintf(&body, "-%s\n", name)
+			drift++
+		default: // produced by this run, not in the golden list
+			fmt.Fprintf(&body, "+%s\n", name)
+			drift++
 		}
 	}
-	sort.Strings(missing)
-	sort.Strings(extra)
-	for _, name := range missing {
-		fmt.Fprintf(os.Stderr, "deathbench: telemetry schema drift: %s missing from this run\n", name)
-	}
-	for _, name := range extra {
-		fmt.Fprintf(os.Stderr, "deathbench: telemetry schema drift: %s not in golden list %s\n", name, path)
-	}
-	if len(missing)+len(extra) > 0 {
+	if drift > 0 {
+		fmt.Fprintf(os.Stderr, "deathbench: telemetry schema drift (%d names):\n", drift)
+		fmt.Fprintf(os.Stderr, "--- %s\n+++ this run\n@@ -1,%d +1,%d @@\n%s",
+			path, len(want), len(got), body.String())
 		return false
 	}
 	fmt.Printf("telemetry schema matches %s (%d names)\n", path, len(want))

@@ -237,6 +237,13 @@ func (s *Stack) Config() Config { return s.cfg }
 // CPU exposes core i's server (for utilization probes).
 func (s *Stack) CPU(i int) *sim.Server { return s.cpus[i%len(s.cpus)] }
 
+// CPUs reports the number of submission/completion cores.
+func (s *Stack) CPUs() int { return len(s.cpus) }
+
+// Lock exposes the shared submission lock server (SingleQueue only;
+// nil on the other modes).
+func (s *Stack) Lock() *sim.Server { return s.lock }
+
 // Close rejects further submissions.
 func (s *Stack) Close() { s.closed = true }
 

@@ -31,4 +31,5 @@ var All = []Runner{
 	{"E21", E21ContinuousMonitoring},
 	{"E22", E22DeviceDeath},
 	{"E23", E23Throughput},
+	{"E24", E24ResourceProfile},
 }

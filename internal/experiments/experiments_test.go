@@ -287,8 +287,8 @@ func TestE14MatrixSeparatesGenerations(t *testing.T) {
 }
 
 func TestAllRunnersListed(t *testing.T) {
-	if len(All) != 23 {
-		t.Fatalf("All has %d runners, want 23", len(All))
+	if len(All) != 24 {
+		t.Fatalf("All has %d runners, want 24", len(All))
 	}
 	seen := map[string]bool{}
 	for _, r := range All {

@@ -209,6 +209,12 @@ func (a *Array) ChipOfBlock(b PBA) int { return int(int64(b) / a.blocksPerChip) 
 // moves across the chip's channel. done receives payload, OOB, the raw
 // bit-error count (for the ECC layer), and any chip error.
 func (a *Array) ReadPage(p PPA, done func(data, oob []byte, bitErrors int, err error)) {
+	a.readPage(p, "read", "xfer-out", done)
+}
+
+// readPage is ReadPage with explicit LUN and channel occupancy labels,
+// so GC relocation traffic attributes to its own cause.
+func (a *Array) readPage(p PPA, lunLabel, chanLabel string, done func(data, oob []byte, bitErrors int, err error)) {
 	chip, addr, err := a.SplitPPA(p)
 	if err != nil {
 		done(nil, nil, 0, err)
@@ -216,12 +222,12 @@ func (a *Array) ReadPage(p PPA, done func(data, oob []byte, bitErrors int, err e
 	}
 	a.PageReads++
 	ch := a.ChannelOf(chip)
-	rerr := a.chips[chip].Read(addr, func(res nand.ReadResult, rerr error) {
+	rerr := a.chips[chip].ReadAs(addr, lunLabel, func(res nand.ReadResult, rerr error) {
 		if rerr != nil {
 			done(nil, nil, 0, rerr)
 			return
 		}
-		ch.TransferFrom(a.eng.Now(), a.PageSize(), "xfer-out", func(_, _ sim.Time) {
+		ch.TransferFrom(a.eng.Now(), a.PageSize(), chanLabel, func(_, _ sim.Time) {
 			done(res.Data, res.OOB, res.BitErrors, nil)
 		})
 	})
@@ -235,14 +241,20 @@ func (a *Array) ReadPage(p PPA, done func(data, oob []byte, bitErrors int, err e
 // transfer. done receives ok=false on a wear-induced program failure.
 // Constraint violations (C2/C3) indicate FTL bugs and panic.
 func (a *Array) WritePage(p PPA, data, oob []byte, done func(ok bool)) {
+	a.writePage(p, data, oob, "prog", "xfer-in", done)
+}
+
+// writePage is WritePage with explicit LUN and channel occupancy labels
+// (see readPage).
+func (a *Array) writePage(p PPA, data, oob []byte, lunLabel, chanLabel string, done func(ok bool)) {
 	chip, addr, err := a.SplitPPA(p)
 	if err != nil {
 		panic(fmt.Sprintf("ftl: WritePage: %v", err))
 	}
 	a.PagePrograms++
 	ch := a.ChannelOf(chip)
-	xferEnd := ch.Transfer(a.PageSize(), "xfer-in", nil)
-	if perr := a.chips[chip].ProgramFrom(xferEnd, addr, data, oob, done); perr != nil {
+	xferEnd := ch.Transfer(a.PageSize(), chanLabel, nil)
+	if perr := a.chips[chip].ProgramFromAs(xferEnd, addr, data, oob, lunLabel, done); perr != nil {
 		panic(fmt.Sprintf("ftl: program %v: %v", addr, perr))
 	}
 }
@@ -282,12 +294,17 @@ func (a *Array) CopyPage(src, dst PPA, done func(ok bool)) {
 		}
 		return
 	}
-	a.ReadPage(src, func(data, oob []byte, _ int, rerr error) {
+	// The cross-plane fallback moves the page over the channels like any
+	// host I/O would, but it is housekeeping: label the LUN and channel
+	// occupancy as GC copy so resource attribution (obs.Profiler) splits
+	// relocation traffic from the host's. Every CopyPage caller is a
+	// GC/merge/relocation path.
+	a.readPage(src, "gc-read", "gc-xfer-out", func(data, oob []byte, _ int, rerr error) {
 		if rerr != nil {
 			done(false)
 			return
 		}
-		a.WritePage(dst, data, oob, done)
+		a.writePage(dst, data, oob, "gc-prog", "gc-xfer-in", done)
 	})
 }
 

@@ -212,6 +212,14 @@ type ReadResult struct {
 // Reads of bad blocks are permitted: controllers salvage live pages out
 // of failing blocks before retiring them.
 func (c *Chip) Read(a Addr, done func(ReadResult, error)) error {
+	return c.ReadAs(a, "read", done)
+}
+
+// ReadAs is Read with an explicit occupancy label, so callers moving
+// pages for their own housekeeping (GC relocation, hybrid-log merges)
+// attribute the LUN time to their cause instead of masquerading as host
+// reads. Timing and semantics are identical to Read.
+func (c *Chip) ReadAs(a Addr, label string, done func(ReadResult, error)) error {
 	if err := c.checkAddr(a); err != nil {
 		return err
 	}
@@ -219,7 +227,7 @@ func (c *Chip) Read(a Addr, done func(ReadResult, error)) error {
 	pg := &blk.pages[a.Page]
 	c.stats.Reads++
 	wear := blk.eraseCount
-	c.luns[a.LUN].srv.UseFrom(c.ready(c.eng.Now()), c.spec.Timing.ReadPage, "read", func(_, _ sim.Time) {
+	c.luns[a.LUN].srv.UseFrom(c.ready(c.eng.Now()), c.spec.Timing.ReadPage, label, func(_, _ sim.Time) {
 		if pg.state != PageProgrammed {
 			done(ReadResult{}, fmt.Errorf("%w: %v", ErrNotProgrammed, a))
 			return
@@ -250,6 +258,12 @@ func (c *Chip) Program(a Addr, data, oob []byte, done func(ok bool)) error {
 // transfer first and want the array operation chained behind it, with
 // constraint validation still happening up front at submission.
 func (c *Chip) ProgramFrom(ready sim.Time, a Addr, data, oob []byte, done func(ok bool)) error {
+	return c.ProgramFromAs(ready, a, data, oob, "prog", done)
+}
+
+// ProgramFromAs is ProgramFrom with an explicit occupancy label (see
+// ReadAs).
+func (c *Chip) ProgramFromAs(ready sim.Time, a Addr, data, oob []byte, label string, done func(ok bool)) error {
 	if err := c.checkAddr(a); err != nil {
 		return err
 	}
@@ -285,7 +299,7 @@ func (c *Chip) ProgramFrom(ready sim.Time, a Addr, data, oob []byte, done func(o
 	}
 	c.stats.Programs++
 	fail := c.wearFailure(blk.eraseCount)
-	c.luns[a.LUN].srv.UseFrom(c.ready(ready), c.spec.Timing.ProgramPage, "prog", func(_, _ sim.Time) {
+	c.luns[a.LUN].srv.UseFrom(c.ready(ready), c.spec.Timing.ProgramPage, label, func(_, _ sim.Time) {
 		if fail {
 			c.stats.ProgramFails++
 			done(false)

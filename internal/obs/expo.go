@@ -8,16 +8,19 @@ import (
 
 // Exposition serves live telemetry over HTTP: /metrics renders the
 // sampler's latest values in the Prometheus text format, /snapshot the
-// registry's merged JSON document, /series the full ring dump, and
-// /events the monitor's health timeline. The underlying sources are
+// registry's merged JSON document, /series the full ring dump, /events
+// the monitor's health timeline, and /profile the resource profiler's
+// folded flame stacks (?format=json for the structured snapshot). The
+// underlying sources are
 // swappable mid-flight (Set), so one server can follow a sequence of
 // experiment runs; handlers are safe against the sim thread because
 // Sampler, Monitor, and Registry each guard their own state.
 type Exposition struct {
-	mu  sync.Mutex
-	reg *Registry
-	sam *Sampler
-	mon *Monitor
+	mu   sync.Mutex
+	reg  *Registry
+	sam  *Sampler
+	mon  *Monitor
+	prof *Profiler
 }
 
 // NewExposition returns an exposition with no sources; endpoints
@@ -34,10 +37,27 @@ func (e *Exposition) Set(reg *Registry, sam *Sampler, mon *Monitor) {
 	e.mu.Unlock()
 }
 
+// SetProfiler swaps the live resource profiler (may be nil). Separate
+// from Set so existing callers keep their signature. Nil-safe.
+func (e *Exposition) SetProfiler(p *Profiler) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.prof = p
+	e.mu.Unlock()
+}
+
 func (e *Exposition) sources() (*Registry, *Sampler, *Monitor) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.reg, e.sam, e.mon
+}
+
+func (e *Exposition) profiler() *Profiler {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.prof
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -81,7 +101,17 @@ func PublishLive(reg *Registry, sam *Sampler, mon *Monitor) {
 	e.Set(reg, sam, mon)
 }
 
-// Handler returns the HTTP mux serving the four endpoints.
+// PublishLiveProfiler points the process-wide exposition's /profile
+// endpoint at the given profiler (may be nil). Nil-safe like
+// PublishLive: a no-op until LiveExposition is requested.
+func PublishLiveProfiler(p *Profiler) {
+	liveMu.Lock()
+	e := liveExpo
+	liveMu.Unlock()
+	e.SetProfiler(p)
+}
+
+// Handler returns the HTTP mux serving the five endpoints.
 func (e *Exposition) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -108,6 +138,22 @@ func (e *Exposition) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, sam.Dump())
+	})
+	mux.HandleFunc("/profile", func(w http.ResponseWriter, r *http.Request) {
+		prof := e.profiler()
+		if prof == nil {
+			unavailable(w)
+			return
+		}
+		snap := prof.Snapshot()
+		if r.URL.Query().Get("format") == "json" {
+			writeJSON(w, snap)
+			return
+		}
+		// Default is the folded flame text: pipe straight into
+		// flamegraph.pl / speedscope.
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(snap.Folded))
 	})
 	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
 		_, _, mon := e.sources()

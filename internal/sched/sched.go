@@ -22,6 +22,15 @@ const (
 	Throughput
 )
 
+// classSlot maps a class onto the two-slot per-class ledgers (latency
+// first; anything unknown is billed as throughput).
+func classSlot(c Class) int {
+	if c == LatencySensitive {
+		return 0
+	}
+	return 1
+}
+
 // String names the class.
 func (c Class) String() string {
 	switch c {
@@ -338,6 +347,14 @@ type Scheduler struct {
 	// itself urgent — requests that were never sent because the answer
 	// was already known.
 	GCDeferDeclined int64
+
+	// waitByClass accumulates total queue wait (enqueue to dispatch)
+	// per request class — the scheduler-side contention overlay the
+	// resource profiler reports beside the busy-time attribution.
+	waitByClass [2]sim.Time
+	// waitObs, when set, observes each dispatch's queue wait on the sim
+	// thread (the profiler's wait sink).
+	waitObs func(c Class, d sim.Time)
 }
 
 // GCControl is what the scheduler needs from a device to shape its
@@ -529,6 +546,22 @@ func (s *Scheduler) Tenants() []*Tenant { return s.tenants }
 // not cost units; see Tenant.Backlog for per-tenant cost backlog).
 func (s *Scheduler) Backlog() int { return s.backlog }
 
+// SetWaitObserver installs a per-dispatch queue-wait observer (nil
+// removes it), called on the sim thread inside the dispatch event —
+// how the resource profiler's wait overlay subscribes without reading
+// scheduler state from other goroutines.
+func (s *Scheduler) SetWaitObserver(fn func(c Class, d sim.Time)) { s.waitObs = fn }
+
+// WaitTotals reports cumulative queue wait (enqueue to dispatch) per
+// request class, keyed by class name — the dispatch-wait overlay the
+// resource profiler attaches as a per-device wait source.
+func (s *Scheduler) WaitTotals() map[string]sim.Time {
+	return map[string]sim.Time{
+		LatencySensitive.String(): s.waitByClass[0],
+		Throughput.String():       s.waitByClass[1],
+	}
+}
+
 // SetKick registers the callback invoked when previously ineligible
 // work becomes dispatchable (rate tokens refill, GC state changes).
 // The downstream stack points this at its queue pump.
@@ -711,6 +744,10 @@ func (s *Scheduler) pop(t *Tenant, now sim.Time) request {
 	t.bucket.Take()
 	t.Dispatched++
 	t.Wait.Record(int64(now - head.at))
+	s.waitByClass[classSlot(t.class)] += now - head.at
+	if s.waitObs != nil {
+		s.waitObs(t.class, now-head.at)
+	}
 	if sp := head.span; sp != nil {
 		sp.Stamp(obs.StageSched, now-head.at)
 		sp.NoteTokensBlocked(head.tokenBlocked)

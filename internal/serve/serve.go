@@ -197,6 +197,14 @@ type Config struct {
 	// GC-storm / floor-proximity / admission-collapse detection, and
 	// typed health events from the acting layers. Implies Sample.
 	Monitor obs.MonitorConfig
+	// Profile enables the resource profiler (obs.Profiler): every NAND
+	// chip, bus channel, host link, submission/completion core and
+	// submission lock in the fabric is tapped and its busy time
+	// attributed per cause, with the per-device schedulers' dispatch
+	// waits as an overlay. Profiling charges zero virtual time. With
+	// Sample also on, per-kind utilization gauges (fabric.util.*) and
+	// the device-0 chip heatmap (device.chip.*) join the sampler.
+	Profile bool
 }
 
 // deviceGroup is one flash device with its stack and scheduler.
@@ -221,6 +229,7 @@ type Fabric struct {
 	registry *obs.Registry
 	sampler  *obs.Sampler
 	monitor  *obs.Monitor
+	profiler *obs.Profiler
 	byClass  [2]ClassLedger
 	stopped  bool
 	crashing bool
@@ -430,6 +439,9 @@ func New(p *sim.Proc, eng *sim.Engine, cfg Config) (*Fabric, error) {
 		f.scaler = newAutoscaler(f, cfg.Autoscale)
 		eng.Go(f.scaler.run)
 	}
+	if cfg.Profile {
+		f.attachProfiler()
+	}
 	f.startTelemetry()
 	return f, nil
 }
@@ -605,6 +617,7 @@ func (f *Fabric) ResetStats() {
 	f.tracer.Reset()
 	f.byClass = [2]ClassLedger{}
 	f.monitor.Rebase()
+	f.profiler.Rebase(f.eng.Now())
 }
 
 // Tracer returns the fabric's request tracer, or nil when Config.Trace

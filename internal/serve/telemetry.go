@@ -49,6 +49,52 @@ func (f *Fabric) Sampler() *obs.Sampler { return f.sampler }
 // it is threaded).
 func (f *Fabric) Monitor() *obs.Monitor { return f.monitor }
 
+// Profiler returns the fabric's resource profiler, or nil when
+// Config.Profile is off (a nil profiler is valid and inert).
+func (f *Fabric) Profiler() *obs.Profiler { return f.profiler }
+
+// attachProfiler taps every busy-time server in the fabric — each
+// chip's LUN group, each bus channel, each device's host link, each
+// stack core and submission lock — and wires the per-device scheduler
+// dispatch waits in as overlay sources. Runs once at assembly, before
+// any shard opens; ResetStats rebases the window after preload.
+func (f *Fabric) attachProfiler() {
+	f.profiler = obs.NewProfiler()
+	for d, g := range f.groups {
+		name := fmt.Sprintf("dev%d", d)
+		if xd, ok := g.dev.(*ssd.Device); ok {
+			arr := xd.Array()
+			for c := 0; c < arr.Chips(); c++ {
+				chip := arr.Chip(c)
+				luns := make([]*sim.Server, chip.Geometry().LUNsPerChip)
+				for l := range luns {
+					luns[l] = chip.LUNServer(l)
+				}
+				f.profiler.Attach(obs.ResChip, fmt.Sprintf("%s.chip%d", name, c), luns...)
+			}
+			for c := 0; c < arr.Channels(); c++ {
+				f.profiler.Attach(obs.ResChannel, fmt.Sprintf("%s.ch%d", name, c), arr.Channel(c).Server())
+			}
+			f.profiler.Attach(obs.ResLink, name+".link", xd.Link())
+		}
+		for i := 0; i < g.stack.CPUs(); i++ {
+			f.profiler.Attach(obs.ResCPU, fmt.Sprintf("%s.cpu%d", name, i), g.stack.CPU(i))
+		}
+		if l := g.stack.Lock(); l != nil {
+			f.profiler.Attach(obs.ResLock, name+".lock", l)
+		}
+		if g.sched != nil {
+			sink := f.profiler.WaitSink(name + ".sched")
+			g.sched.SetWaitObserver(func(c sched.Class, d sim.Time) { sink(c.String(), d) })
+		}
+	}
+	f.profiler.Rebase(f.eng.Now())
+	f.registry.Attach("profile", func() any { return f.profiler.Snapshot() })
+	// If a live HTTP exposition exists (deathbench -serve), its
+	// /profile endpoint follows this fabric.
+	obs.PublishLiveProfiler(f.profiler)
+}
+
 // SLO error budgets the monitor burns against: the tolerated
 // deadline-miss fraction per class. Latency traffic gets the tight
 // budget; throughput traffic the loose one.
@@ -181,6 +227,26 @@ func (f *Fabric) attachProbes() {
 			s.AddHist("trace."+cname, func() *metrics.Histogram {
 				return f.tracer.TotalHist(cname)
 			})
+		}
+	}
+
+	if f.profiler != nil {
+		// Per-kind saturation gauges plus the device-0 chip heatmap:
+		// the live view of where the machine's time goes, fed by the
+		// same ledger the /profile flame export reads.
+		for _, kind := range []obs.ResourceKind{obs.ResChip, obs.ResChannel, obs.ResCPU, obs.ResLink} {
+			kind := kind
+			s.AddGauge(fmt.Sprintf("fabric.util.%s_max", kind), func() float64 {
+				return f.profiler.MaxUtil(kind)
+			})
+		}
+		if xd, ok := f.groups[0].dev.(*ssd.Device); ok {
+			for c := 0; c < xd.Array().Chips(); c++ {
+				rname := fmt.Sprintf("dev0.chip%d", c)
+				s.AddGauge(fmt.Sprintf("device.chip.%d.util", c), func() float64 {
+					return f.profiler.UtilOf(obs.ResChip, rname)
+				})
+			}
 		}
 	}
 }

@@ -15,7 +15,17 @@ type Server struct {
 	trace     []Interval
 	tracing   bool
 	traceFrom Time
+
+	tap Tap
 }
+
+// Tap observes every reservation on a server at the moment it is made:
+// the label, how long the reservation waits behind earlier work, the
+// busy time it charges, and the (virtual) time of the reservation. The
+// tap fires synchronously inside Use/UseFrom — exactly where busy is
+// credited — so an observer that sums busy per tap closes exactly
+// against the server's own Busy() counter. Taps charge no virtual time.
+type Tap func(label string, wait, busy, at Time)
 
 // Interval is one occupancy span of a traced server.
 type Interval struct {
@@ -63,6 +73,12 @@ func (s *Server) StartTrace() {
 // Trace returns the recorded occupancy intervals.
 func (s *Server) Trace() []Interval { return s.trace }
 
+// SetTap installs the reservation observer (nil removes it). A server
+// has at most one tap: setting a second silently replaces the first,
+// which a two-path accounting check (obs.Profiler) surfaces as drift
+// rather than double counting.
+func (s *Server) SetTap(fn Tap) { s.tap = fn }
+
 // Use reserves the server for d nanoseconds starting as soon as it is
 // free (FIFO behind earlier reservations). done, if non-nil, runs at the
 // end of the reservation and receives the actual start and end times.
@@ -82,6 +98,9 @@ func (s *Server) Use(d Time, label string, done func(start, end Time)) Time {
 	s.uses++
 	if s.tracing {
 		s.trace = append(s.trace, Interval{Start: start, End: end, Label: label})
+	}
+	if s.tap != nil {
+		s.tap(label, start-now, d, now)
 	}
 	if done != nil {
 		s.eng.Schedule(end, func() { done(start, end) })
@@ -109,6 +128,9 @@ func (s *Server) UseFrom(ready Time, d Time, label string, done func(start, end 
 	s.uses++
 	if s.tracing {
 		s.trace = append(s.trace, Interval{Start: start, End: end, Label: label})
+	}
+	if s.tap != nil {
+		s.tap(label, start-ready, d, s.eng.Now())
 	}
 	if done != nil {
 		s.eng.Schedule(end, func() { done(start, end) })

@@ -131,6 +131,9 @@ func (d *Device) FTL() ftl.FTL { return d.f }
 // Array exposes the flash fabric (for tracing and utilization).
 func (d *Device) Array() *ftl.Array { return d.arr }
 
+// Link exposes the host-link server (for utilization attribution).
+func (d *Device) Link() *sim.Server { return d.link }
+
 // linkTime is the host-link occupancy of an n-byte transfer.
 func (d *Device) linkTime(n int) sim.Time {
 	if n <= 0 {

@@ -67,6 +67,10 @@ type (
 	Time = sim.Time
 	// RNG is the deterministic random source.
 	RNG = sim.RNG
+	// Server is an exclusive FIFO resource on the virtual clock (a
+	// chip LUN, a channel, a CPU); the resource profiler taps its
+	// reservations.
+	Server = sim.Server
 )
 
 // Common durations.
@@ -81,6 +85,9 @@ func NewEngine() *Engine { return sim.NewEngine() }
 
 // NewRNG returns a seeded deterministic random source.
 func NewRNG(seed uint64) *RNG { return sim.NewRNG(seed) }
+
+// NewServer returns a named exclusive FIFO resource on eng's clock.
+func NewServer(eng *Engine, name string) *Server { return sim.NewServer(eng, name) }
 
 // Devices.
 type (
@@ -364,9 +371,46 @@ type (
 	// EventSink receives health events; the acting layers hold one.
 	EventSink = obs.EventSink
 	// Exposition serves live telemetry over HTTP (/metrics, /snapshot,
-	// /series, /events).
+	// /series, /events, /profile).
 	Exposition = obs.Exposition
 )
+
+// Resource profiling (package obs): per-resource busy-time attribution
+// with exact closure, utilization gauges and the flame export.
+type (
+	// Profiler attributes every tapped server's busy time to a typed
+	// resource and cause (FabricConfig.Profile wires one up).
+	Profiler = obs.Profiler
+	// ResourceKind types a profiled resource (chip, channel, link,
+	// cpu, lock).
+	ResourceKind = obs.ResourceKind
+	// ResourceProfile is one resource's attributed window.
+	ResourceProfile = obs.ResourceProfile
+	// Profile is one profiler snapshot: resources, wait overlays, and
+	// the folded-stack flame export.
+	Profile = obs.Profile
+	// TopResource names a kind's most-utilized resource and the cause
+	// holding most of its time.
+	TopResource = obs.TopResource
+)
+
+// Resource kinds.
+const (
+	// ResChip is a NAND chip (its LUN servers as one group).
+	ResChip = obs.ResChip
+	// ResChannel is a flash bus channel.
+	ResChannel = obs.ResChannel
+	// ResLink is a device's host interconnect.
+	ResLink = obs.ResLink
+	// ResCPU is a stack submission/completion core.
+	ResCPU = obs.ResCPU
+	// ResLock is the single-queue stack's shared submission lock.
+	ResLock = obs.ResLock
+)
+
+// NewProfiler returns an empty resource profiler; Attach taps servers
+// into it.
+func NewProfiler() *Profiler { return obs.NewProfiler() }
 
 // Health event kinds.
 const (

@@ -148,8 +148,8 @@ func TestPublicAPIWorkloadsAndExperiments(t *testing.T) {
 	if a := g.Next(); a.LPN < 0 || a.LPN >= 100 {
 		t.Fatal("workload out of range")
 	}
-	if len(Experiments()) != 23 {
-		t.Fatalf("Experiments() = %d entries, want 23", len(Experiments()))
+	if len(Experiments()) != 24 {
+		t.Fatalf("Experiments() = %d entries, want 24", len(Experiments()))
 	}
 	rng := NewRNG(1)
 	if rng.Intn(10) < 0 {
